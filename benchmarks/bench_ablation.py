@@ -1,0 +1,9 @@
+"""Benchmark: ablation supporting/extension experiment (quick preset).
+
+Writes the rendered rows/series to benchmark_results/ablation.txt.
+"""
+
+
+def test_ablation(run_paper_experiment):
+    result = run_paper_experiment("ablation", preset="quick", seed=0)
+    assert result.rows or result.figures

@@ -1,0 +1,9 @@
+"""Benchmark: diversity supporting/extension experiment (quick preset).
+
+Writes the rendered rows/series to benchmark_results/diversity.txt.
+"""
+
+
+def test_diversity(run_paper_experiment):
+    result = run_paper_experiment("diversity", preset="quick", seed=0)
+    assert result.rows or result.figures

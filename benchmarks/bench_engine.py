@@ -1,0 +1,56 @@
+"""Micro-benchmarks of the routing substrate.
+
+Unlike the paper-artifact benchmarks (one multi-minute round each),
+these measure the genuinely hot inner operations with full
+pytest-benchmark statistics: SPF + ECMP routing of one class, a complete
+two-class cost evaluation, and a full single-link-failure sweep.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import PAPER_CONFIG
+from repro.core.evaluation import DtrEvaluator
+from repro.core.weights import WeightSetting
+from repro.routing import RoutingEngine, single_link_failures
+from repro.topology import rand_topology, scale_to_diameter
+from repro.traffic import dtr_traffic, scale_to_utilization
+
+
+@pytest.fixture(scope="module")
+def instance():
+    gen = np.random.default_rng(42)
+    network = scale_to_diameter(rand_topology(30, 6.0, gen), 0.025)
+    traffic = scale_to_utilization(
+        network, dtr_traffic(30, gen, 1.0), 0.43, "mean"
+    )
+    evaluator = DtrEvaluator(network, traffic, PAPER_CONFIG)
+    setting = WeightSetting.random(
+        network.num_arcs, PAPER_CONFIG.weights, np.random.default_rng(1)
+    )
+    return network, traffic, evaluator, setting
+
+
+def test_route_one_class(benchmark, instance):
+    network, traffic, _, setting = instance
+    engine = RoutingEngine(network)
+    benchmark(
+        engine.route_class, setting.delay, traffic.delay.values
+    )
+
+
+def test_evaluate_normal(benchmark, instance):
+    _, _, evaluator, setting = instance
+    benchmark(evaluator.evaluate_normal, setting)
+
+
+def test_failure_sweep(benchmark, instance):
+    network, _, evaluator, setting = instance
+    failures = single_link_failures(network)
+    normal = evaluator.evaluate_normal(setting)
+
+    def sweep():
+        return evaluator.evaluate_failures(setting, failures, reuse=normal)
+
+    result = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    assert len(result) == network.num_links

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate fig3 of the paper (quick preset).
+
+Runs the fig3 experiment once under pytest-benchmark and writes the
+rendered rows/series to benchmark_results/fig3.txt.
+"""
+
+
+def test_fig3(run_paper_experiment):
+    result = run_paper_experiment("fig3", preset="quick", seed=0)
+    assert result.rows or result.figures

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate fig4 of the paper (quick preset).
+
+Runs the fig4 experiment once under pytest-benchmark and writes the
+rendered rows/series to benchmark_results/fig4.txt.
+"""
+
+
+def test_fig4(run_paper_experiment):
+    result = run_paper_experiment("fig4", preset="quick", seed=0)
+    assert result.rows or result.figures

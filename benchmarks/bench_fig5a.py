@@ -1,0 +1,10 @@
+"""Benchmark: regenerate fig5a of the paper (quick preset).
+
+Runs the fig5a experiment once under pytest-benchmark and writes the
+rendered rows/series to benchmark_results/fig5a.txt.
+"""
+
+
+def test_fig5a(run_paper_experiment):
+    result = run_paper_experiment("fig5a", preset="quick", seed=0)
+    assert result.rows or result.figures

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate fig5bc of the paper (quick preset).
+
+Runs the fig5bc experiment once under pytest-benchmark and writes the
+rendered rows/series to benchmark_results/fig5bc.txt.
+"""
+
+
+def test_fig5bc(run_paper_experiment):
+    result = run_paper_experiment("fig5bc", preset="quick", seed=0)
+    assert result.rows or result.figures

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate fig5d of the paper (quick preset).
+
+Runs the fig5d experiment once under pytest-benchmark and writes the
+rendered rows/series to benchmark_results/fig5d.txt.
+"""
+
+
+def test_fig5d(run_paper_experiment):
+    result = run_paper_experiment("fig5d", preset="quick", seed=0)
+    assert result.rows or result.figures

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate fig6 of the paper (quick preset).
+
+Runs the fig6 experiment once under pytest-benchmark and writes the
+rendered rows/series to benchmark_results/fig6.txt.
+"""
+
+
+def test_fig6(run_paper_experiment):
+    result = run_paper_experiment("fig6", preset="quick", seed=0)
+    assert result.rows or result.figures

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate fig7 of the paper (quick preset).
+
+Runs the fig7 experiment once under pytest-benchmark and writes the
+rendered rows/series to benchmark_results/fig7.txt.
+"""
+
+
+def test_fig7(run_paper_experiment):
+    result = run_paper_experiment("fig7", preset="quick", seed=0)
+    assert result.rows or result.figures

@@ -1,0 +1,9 @@
+"""Benchmark: multi_failure supporting/extension experiment (quick preset).
+
+Writes the rendered rows/series to benchmark_results/multi_failure.txt.
+"""
+
+
+def test_multi_failure(run_paper_experiment):
+    result = run_paper_experiment("multi_failure", preset="quick", seed=0)
+    assert result.rows or result.figures

@@ -1,0 +1,9 @@
+"""Benchmark: resize supporting/extension experiment (quick preset).
+
+Writes the rendered rows/series to benchmark_results/resize.txt.
+"""
+
+
+def test_resize(run_paper_experiment):
+    result = run_paper_experiment("resize", preset="quick", seed=0)
+    assert result.rows or result.figures

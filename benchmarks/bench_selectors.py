@@ -1,0 +1,9 @@
+"""Benchmark: selectors supporting/extension experiment (quick preset).
+
+Writes the rendered rows/series to benchmark_results/selectors.txt.
+"""
+
+
+def test_selectors(run_paper_experiment):
+    result = run_paper_experiment("selectors", preset="quick", seed=0)
+    assert result.rows or result.figures

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate table1 of the paper (quick preset).
+
+Runs the table1 experiment once under pytest-benchmark and writes the
+rendered rows/series to benchmark_results/table1.txt.
+"""
+
+
+def test_table1(run_paper_experiment):
+    result = run_paper_experiment("table1", preset="quick", seed=0)
+    assert result.rows or result.figures

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate table1_load of the paper (quick preset).
+
+Runs the table1_load experiment once under pytest-benchmark and writes the
+rendered rows/series to benchmark_results/table1_load.txt.
+"""
+
+
+def test_table1_load(run_paper_experiment):
+    result = run_paper_experiment("table1_load", preset="quick", seed=0)
+    assert result.rows or result.figures

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate table2 of the paper (quick preset).
+
+Runs the table2 experiment once under pytest-benchmark and writes the
+rendered rows/series to benchmark_results/table2.txt.
+"""
+
+
+def test_table2(run_paper_experiment):
+    result = run_paper_experiment("table2", preset="quick", seed=0)
+    assert result.rows or result.figures

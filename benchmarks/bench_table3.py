@@ -1,0 +1,10 @@
+"""Benchmark: regenerate table3 of the paper (quick preset).
+
+Runs the table3 experiment once under pytest-benchmark and writes the
+rendered rows/series to benchmark_results/table3.txt.
+"""
+
+
+def test_table3(run_paper_experiment):
+    result = run_paper_experiment("table3", preset="quick", seed=0)
+    assert result.rows or result.figures

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate table4 of the paper (quick preset).
+
+Runs the table4 experiment once under pytest-benchmark and writes the
+rendered rows/series to benchmark_results/table4.txt.
+"""
+
+
+def test_table4(run_paper_experiment):
+    result = run_paper_experiment("table4", preset="quick", seed=0)
+    assert result.rows or result.figures

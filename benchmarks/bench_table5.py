@@ -1,0 +1,10 @@
+"""Benchmark: regenerate table5 of the paper (quick preset).
+
+Runs the table5 experiment once under pytest-benchmark and writes the
+rendered rows/series to benchmark_results/table5.txt.
+"""
+
+
+def test_table5(run_paper_experiment):
+    result = run_paper_experiment("table5", preset="quick", seed=0)
+    assert result.rows or result.figures

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate timing of the paper (quick preset).
+
+Runs the timing experiment once under pytest-benchmark and writes the
+rendered rows/series to benchmark_results/timing.txt.
+"""
+
+
+def test_timing(run_paper_experiment):
+    result = run_paper_experiment("timing", preset="quick", seed=0)
+    assert result.rows or result.figures

@@ -1,0 +1,49 @@
+"""Shared benchmark plumbing.
+
+Every paper-artifact benchmark runs its experiment exactly once
+(``benchmark.pedantic(rounds=1)``) — these are minutes-scale workloads,
+not microseconds — and records the rendered tables/series under
+``benchmark_results/`` so the artifact output survives pytest's output
+capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+#: Where rendered experiment output lands.
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "benchmark_results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def run_paper_experiment(benchmark, results_dir):
+    """Run one experiment under pytest-benchmark and persist its output."""
+
+    def runner(experiment_id: str, preset: str = "quick", seed: int = 0):
+        from repro.exp.runner import run_experiment
+
+        result = benchmark.pedantic(
+            run_experiment,
+            args=(experiment_id,),
+            kwargs={"preset": preset, "seed": seed},
+            rounds=1,
+            iterations=1,
+            warmup_rounds=0,
+        )
+        rendered = result.render()
+        (results_dir / f"{experiment_id}.txt").write_text(
+            rendered + "\n", encoding="utf-8"
+        )
+        print()
+        print(rendered)
+        return result
+
+    return runner

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The execution environment is offline and has no ``wheel`` package, so
+``pip install -e .`` must take the legacy ``setup.py develop`` path; all
+real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

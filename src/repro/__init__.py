@@ -1,0 +1,44 @@
+"""repro — reproduction of "Balancing Performance, Robustness and
+Flexibility in Routing Systems" (Kwong, Guérin, Shaikh, Tao; ACM CoNEXT
+2008 / IEEE TNSM 2010).
+
+Public API tour:
+
+* :class:`repro.core.RobustDtrOptimizer` — the two-phase robust DTR
+  optimizer (the paper's contribution).
+* :class:`repro.core.DtrEvaluator` — cost oracle for a weight setting
+  under normal or failure conditions.
+* :mod:`repro.topology` — RandTopo / NearTopo / PLTopo / ISP generators.
+* :mod:`repro.traffic` — gravity traffic matrices, utilization scaling,
+  uncertainty models.
+* :mod:`repro.exp` — one module per paper table/figure.
+"""
+
+from repro.config import PAPER_CONFIG, OptimizerConfig
+from repro.core import (
+    CostPair,
+    DtrEvaluator,
+    RobustDtrOptimizer,
+    RobustRoutingResult,
+    WeightSetting,
+)
+from repro.routing import FailureModel, Network, RoutingEngine
+from repro.traffic import DtrTraffic, TrafficMatrix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CostPair",
+    "DtrEvaluator",
+    "DtrTraffic",
+    "FailureModel",
+    "Network",
+    "OptimizerConfig",
+    "PAPER_CONFIG",
+    "RobustDtrOptimizer",
+    "RobustRoutingResult",
+    "RoutingEngine",
+    "TrafficMatrix",
+    "WeightSetting",
+    "__version__",
+]

@@ -1,0 +1,77 @@
+"""Analysis layer: metrics, diversity, margins, table/series output."""
+
+from repro.analysis.diversity import (
+    DiversitySummary,
+    disjoint_path_counts,
+    diversity_summary,
+    ecmp_path_counts,
+    stretch_path_counts,
+)
+from repro.analysis.margins import (
+    MarginStats,
+    margin_histogram_ms,
+    margin_stats,
+    pair_margins_s,
+)
+from repro.analysis.metrics import (
+    SlaViolationStats,
+    beta_metric,
+    max_utilization_per_pair,
+    normalized_series,
+    phi_degradation_percent,
+    phi_gap_percent,
+    sorted_pair_delays_ms,
+    utilization_increase_after_failure,
+)
+from repro.analysis.series import (
+    FigureData,
+    Series,
+    render_series,
+    series_to_rows,
+    sparkline,
+)
+from repro.analysis.tables import (
+    format_value,
+    mean_std_cell,
+    render_kv,
+    render_table,
+)
+from repro.analysis.utilization import (
+    average_link_utilization,
+    average_pair_max_utilization,
+    max_delay_carrying_utilization,
+    max_link_utilization,
+)
+
+__all__ = [
+    "DiversitySummary",
+    "FigureData",
+    "MarginStats",
+    "Series",
+    "SlaViolationStats",
+    "average_link_utilization",
+    "average_pair_max_utilization",
+    "beta_metric",
+    "disjoint_path_counts",
+    "diversity_summary",
+    "ecmp_path_counts",
+    "format_value",
+    "margin_histogram_ms",
+    "margin_stats",
+    "pair_margins_s",
+    "stretch_path_counts",
+    "max_delay_carrying_utilization",
+    "max_link_utilization",
+    "max_utilization_per_pair",
+    "mean_std_cell",
+    "normalized_series",
+    "phi_degradation_percent",
+    "phi_gap_percent",
+    "render_kv",
+    "render_series",
+    "render_table",
+    "series_to_rows",
+    "sorted_pair_delays_ms",
+    "sparkline",
+    "utilization_increase_after_failure",
+]

@@ -1,0 +1,125 @@
+"""Path-diversity metrics.
+
+The paper's explanation for *when* robust optimization helps is path
+diversity: "the benefits that robust optimization can offer are
+typically in proportion to the number of paths it can explore"
+(Section V).  These metrics quantify that for a topology:
+
+* ECMP shortest-path counts per SD pair (under given weights);
+* arc-disjoint path counts per SD pair (weight-independent upper bound
+  on re-routing options);
+* near-shortest path counts within a delay stretch factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from repro.routing.network import Network
+from repro.routing.spf import (
+    distance_matrix,
+    path_counts,
+    shortest_arc_mask,
+)
+
+
+@dataclass(frozen=True)
+class DiversitySummary:
+    """Per-topology path-diversity statistics.
+
+    Attributes:
+        mean_ecmp_paths: mean shortest-path count over SD pairs.
+        mean_disjoint_paths: mean arc-disjoint path count over SD pairs.
+        min_disjoint_paths: the worst-connected pair's disjoint count.
+        mean_stretch_paths: mean count of paths within the stretch bound.
+    """
+
+    mean_ecmp_paths: float
+    mean_disjoint_paths: float
+    min_disjoint_paths: int
+    mean_stretch_paths: float
+
+
+def ecmp_path_counts(
+    network: Network, weights: np.ndarray
+) -> np.ndarray:
+    """``(N, N)`` matrix of shortest-path counts under the weights."""
+    weights = np.asarray(weights, dtype=np.float64)
+    dist = distance_matrix(network, weights)
+    n = network.num_nodes
+    counts = np.zeros((n, n))
+    for t in range(n):
+        mask = shortest_arc_mask(network, weights, dist[:, t])
+        counts[:, t] = path_counts(network, mask, dist[:, t], t)
+    np.fill_diagonal(counts, 0.0)
+    return counts
+
+
+def disjoint_path_counts(network: Network) -> np.ndarray:
+    """``(N, N)`` matrix of arc-disjoint path counts (max-flow)."""
+    graph = network.to_networkx()
+    for u, v in graph.edges:
+        graph[u][v]["capacity"] = 1.0
+    n = network.num_nodes
+    counts = np.zeros((n, n))
+    for s in range(n):
+        for t in range(n):
+            if s == t:
+                continue
+            counts[s, t] = nx.maximum_flow_value(graph, s, t)
+    return counts
+
+
+def stretch_path_counts(
+    network: Network, stretch: float = 1.5
+) -> np.ndarray:
+    """Paths whose propagation delay is within ``stretch`` of the best.
+
+    Counts, for every SD pair, the loop-free next-hop choices at the
+    source that still admit a path within the stretch bound — a cheap
+    proxy for "alternate paths robust optimization could use" that does
+    not require full path enumeration.
+    """
+    if stretch < 1.0:
+        raise ValueError("stretch must be >= 1")
+    # distance on propagation delay (scaled to integer-safe weights)
+    scale = 1e6  # microseconds, keeps weights >= 1 for realistic delays
+    weights = np.maximum(network.prop_delay * scale, 1.0)
+    dist = distance_matrix(network, weights)
+    n = network.num_nodes
+    counts = np.zeros((n, n))
+    arc_dst = network.arc_dst
+    for s in range(n):
+        out = network.out_arcs[s]
+        for t in range(n):
+            if s == t or not np.isfinite(dist[s, t]):
+                continue
+            bound = stretch * dist[s, t]
+            via = weights[out] + dist[arc_dst[out], t]
+            counts[s, t] = int(np.sum(via <= bound + 1e-9))
+    return counts
+
+
+def diversity_summary(
+    network: Network,
+    weights: np.ndarray | None = None,
+    stretch: float = 1.5,
+) -> DiversitySummary:
+    """Aggregate diversity statistics for one topology."""
+    if weights is None:
+        weights = np.ones(network.num_arcs)
+    n = network.num_nodes
+    off_diag = ~np.eye(n, dtype=bool)
+
+    ecmp = ecmp_path_counts(network, weights)[off_diag]
+    disjoint = disjoint_path_counts(network)[off_diag]
+    stretched = stretch_path_counts(network, stretch)[off_diag]
+    return DiversitySummary(
+        mean_ecmp_paths=float(ecmp.mean()),
+        mean_disjoint_paths=float(disjoint.mean()),
+        min_disjoint_paths=int(disjoint.min()),
+        mean_stretch_paths=float(stretched.mean()),
+    )

@@ -1,0 +1,142 @@
+"""Evaluation metrics used across the paper's tables and figures.
+
+These helpers turn raw :class:`~repro.core.evaluation.FailureEvaluation`
+objects into the numbers the paper reports: SLA-violation statistics,
+throughput-cost degradations, and the accuracy metrics of Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.evaluation import FailureEvaluation, ScenarioEvaluation
+
+
+@dataclass(frozen=True)
+class SlaViolationStats:
+    """SLA-violation summary over a failure set.
+
+    Attributes:
+        mean: average violations per failure scenario.
+        top10_mean: average over the worst 10 % of scenarios.
+        worst: maximum violations in any scenario.
+        total: violations summed across scenarios.
+        per_scenario: the per-scenario counts in enumeration order.
+    """
+
+    mean: float
+    top10_mean: float
+    worst: int
+    total: int
+    per_scenario: tuple[int, ...]
+
+    @classmethod
+    def from_failures(
+        cls, evaluation: FailureEvaluation
+    ) -> "SlaViolationStats":
+        counts = evaluation.violations
+        return cls(
+            mean=evaluation.mean_violations(),
+            top10_mean=evaluation.top_fraction_mean_violations(0.1),
+            worst=int(counts.max()) if counts.size else 0,
+            total=int(counts.sum()),
+            per_scenario=tuple(int(c) for c in counts),
+        )
+
+
+def beta_metric(evaluation: FailureEvaluation) -> float:
+    """Table I's ``beta``: mean SLA violations across single failures."""
+    return evaluation.mean_violations()
+
+
+def phi_gap_percent(
+    candidate: FailureEvaluation, reference: FailureEvaluation
+) -> float:
+    """Table I's ``beta_Phi``: relative throughput-cost gap, in percent.
+
+    Positive means the candidate's compounded ``Phi_fail`` is higher than
+    the reference's (full search); negative is possible because of the
+    lexicographic objective (paper footnote 11).
+    """
+    ref = reference.total_cost.phi
+    if ref <= 0:
+        return 0.0
+    return 100.0 * (candidate.total_cost.phi - ref) / ref
+
+
+def phi_degradation_percent(
+    robust_normal: ScenarioEvaluation, regular_normal: ScenarioEvaluation
+) -> float:
+    """Table II's last row: normal-condition throughput-cost increase.
+
+    How much robustness actually cost the throughput class, relative to
+    the regular optimum (bounded above by ``100 * chi``).
+    """
+    ref = regular_normal.cost.phi
+    if ref <= 0:
+        return 0.0
+    return 100.0 * (robust_normal.cost.phi - ref) / ref
+
+
+def utilization_increase_after_failure(
+    normal: ScenarioEvaluation, failed: ScenarioEvaluation
+) -> tuple[int, float]:
+    """Fig. 4 ingredients for one failure scenario.
+
+    Returns:
+        ``(count, mean_increase)``: how many surviving arcs carry strictly
+        more utilization than under normal conditions, and the average
+        increase over those arcs (0 when none increased).
+    """
+    alive = np.ones(normal.utilization.shape[0], dtype=bool)
+    if failed.scenario.failed_arcs:
+        alive[list(failed.scenario.failed_arcs)] = False
+    delta = failed.utilization[alive] - normal.utilization[alive]
+    increased = delta > 1e-12
+    count = int(increased.sum())
+    mean_increase = float(delta[increased].mean()) if count else 0.0
+    return count, mean_increase
+
+
+def sorted_pair_delays_ms(evaluation: ScenarioEvaluation) -> np.ndarray:
+    """Fig. 5b/5c series: end-to-end delays (ms) sorted ascending.
+
+    Only pairs carrying delay demand appear (non-routed entries are NaN).
+    """
+    delays = evaluation.pair_delays
+    finite_mask = ~np.isnan(delays)
+    values = delays[finite_mask]
+    return np.sort(values) * 1e3
+
+
+def max_utilization_per_pair(
+    evaluation: ScenarioEvaluation, path_max_util: np.ndarray
+) -> float:
+    """Table V's "average max utilization": mean over SD pairs of the
+    highest arc utilization on their used paths.
+
+    Args:
+        evaluation: the scenario evaluation (for the demand mask).
+        path_max_util: output of ``RoutingEngine.path_max_utilization``.
+    """
+    mask = ~np.isnan(path_max_util)
+    np.fill_diagonal(mask, False)
+    if not mask.any():
+        return 0.0
+    values = path_max_util[mask]
+    values = values[np.isfinite(values)]
+    return float(values.mean()) if values.size else 0.0
+
+
+def normalized_series(values: np.ndarray) -> np.ndarray:
+    """Scale a non-negative series by its maximum (for figure plotting).
+
+    Zero-max series are returned unchanged.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    peak = values.max() if values.size else 0.0
+    if peak <= 0:
+        return values.copy()
+    return values / peak

@@ -1,0 +1,117 @@
+"""Numeric series handling for the paper's figures.
+
+A figure reproduction here is a named collection of numeric series (the
+exact data the paper plots); :func:`render_series` prints them as compact
+ASCII sparklines plus summary statistics, and :func:`series_to_rows`
+exports them as table rows for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+_SPARK_CHARS = " .:-=+*#%@"
+
+
+@dataclass(frozen=True)
+class Series:
+    """One plotted curve.
+
+    Attributes:
+        name: legend label (e.g. ``"Robust"``).
+        values: y-values in x order.
+    """
+
+    name: str
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "values", np.asarray(self.values, dtype=np.float64)
+        )
+
+    @property
+    def mean(self) -> float:
+        """Mean of the series (NaNs ignored)."""
+        return float(np.nanmean(self.values)) if self.values.size else 0.0
+
+    @property
+    def peak(self) -> float:
+        """Maximum of the series (NaNs ignored)."""
+        return float(np.nanmax(self.values)) if self.values.size else 0.0
+
+
+@dataclass(frozen=True)
+class FigureData:
+    """All series of one reproduced figure panel.
+
+    Attributes:
+        figure_id: e.g. ``"fig3a"``.
+        xlabel: x-axis meaning (e.g. ``"sorted failure link id"``).
+        ylabel: y-axis meaning.
+        series: the curves.
+    """
+
+    figure_id: str
+    xlabel: str
+    ylabel: str
+    series: tuple[Series, ...] = field(default_factory=tuple)
+
+    def get(self, name: str) -> Series:
+        """Look up a series by name."""
+        for s in self.series:
+            if s.name == name:
+                return s
+        raise KeyError(f"no series named {name!r} in {self.figure_id}")
+
+
+def sparkline(values: np.ndarray, width: int = 60) -> str:
+    """Downsample a series to a fixed-width ASCII sparkline."""
+    values = np.asarray(values, dtype=np.float64)
+    values = values[~np.isnan(values)]
+    if values.size == 0:
+        return ""
+    if values.size > width:
+        edges = np.linspace(0, values.size, width + 1).astype(int)
+        values = np.asarray(
+            [values[a:b].mean() for a, b in zip(edges[:-1], edges[1:])]
+        )
+    peak = values.max()
+    if peak <= 0:
+        return _SPARK_CHARS[0] * values.size
+    idx = np.clip(
+        (values / peak * (len(_SPARK_CHARS) - 1)).round().astype(int),
+        0,
+        len(_SPARK_CHARS) - 1,
+    )
+    return "".join(_SPARK_CHARS[i] for i in idx)
+
+
+def render_series(figure: FigureData, width: int = 60) -> str:
+    """Render a figure panel as labelled sparklines with statistics."""
+    lines = [
+        f"[{figure.figure_id}] y={figure.ylabel} vs x={figure.xlabel}"
+    ]
+    name_width = max((len(s.name) for s in figure.series), default=0)
+    for s in figure.series:
+        lines.append(
+            f"  {s.name.ljust(name_width)} |{sparkline(s.values, width)}| "
+            f"mean={s.mean:.3g} peak={s.peak:.3g} n={s.values.size}"
+        )
+    return "\n".join(lines)
+
+
+def series_to_rows(figure: FigureData) -> list[dict[str, object]]:
+    """Summarize each series as one table row (for EXPERIMENTS.md)."""
+    return [
+        {
+            "figure": figure.figure_id,
+            "series": s.name,
+            "n": s.values.size,
+            "mean": s.mean,
+            "peak": s.peak,
+        }
+        for s in figure.series
+    ]

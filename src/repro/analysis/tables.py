@@ -1,0 +1,89 @@
+"""Plain-text table rendering for experiment output.
+
+The benchmark harness prints the same rows the paper's tables report;
+this module turns lists of row dicts into aligned monospace tables with
+``mean (std)`` cells, matching the paper's presentation convention.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+
+def mean_std_cell(values: Sequence[float], digits: int = 2) -> str:
+    """Format repeated-run values as ``mean (std)`` like the paper."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return "-"
+    if arr.size == 1:
+        return f"{arr[0]:.{digits}f}"
+    return f"{arr.mean():.{digits}f} ({arr.std(ddof=1):.{digits}f})"
+
+
+def format_value(value: object, digits: int = 2) -> str:
+    """Human formatting for one table cell."""
+    if isinstance(value, str):
+        return value
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, (int, np.integer)):
+        return str(int(value))
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        return f"{value:.{digits}f}"
+    if isinstance(value, (list, tuple, np.ndarray)):
+        return mean_std_cell(list(value), digits)
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+    digits: int = 2,
+) -> str:
+    """Render rows of dicts as an aligned monospace table.
+
+    Args:
+        rows: each mapping is one row; missing keys render as ``-``.
+        columns: column order (default: keys of the first row).
+        title: optional heading line.
+        digits: float precision.
+
+    Returns:
+        The rendered table as a string (no trailing newline).
+    """
+    if not rows:
+        return title or "(empty table)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    rendered = [
+        [format_value(row.get(col, "-"), digits) for col in cols]
+        for row in rows
+    ]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered))
+        for i, col in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(cols))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append(" | ".join(r[i].ljust(widths[i]) for i in range(len(cols))))
+    return "\n".join(lines)
+
+
+def render_kv(
+    pairs: Mapping[str, object], title: str | None = None, digits: int = 3
+) -> str:
+    """Render a key/value block (for experiment headers)."""
+    lines = [title] if title else []
+    width = max(len(k) for k in pairs) if pairs else 0
+    for key, value in pairs.items():
+        lines.append(f"  {key.ljust(width)} : {format_value(value, digits)}")
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Utilization statistics (Table V, Fig. 4, Fig. 5d ingredients)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.evaluation import DtrEvaluator, ScenarioEvaluation
+from repro.core.weights import WeightSetting
+from repro.routing.failures import NORMAL, FailureScenario
+
+
+def average_link_utilization(evaluation: ScenarioEvaluation) -> float:
+    """Mean total utilization over all arcs."""
+    return float(evaluation.utilization.mean())
+
+
+def max_link_utilization(evaluation: ScenarioEvaluation) -> float:
+    """Maximum total utilization over all arcs."""
+    return float(evaluation.utilization.max())
+
+
+def average_pair_max_utilization(
+    evaluator: DtrEvaluator,
+    setting: WeightSetting,
+    scenario: FailureScenario = NORMAL,
+) -> float:
+    """Table V's "average max utilization" column.
+
+    For each delay-class SD pair, find the most-utilized arc on its used
+    paths; average over pairs.
+    """
+    routing = evaluator.engine.route_class(
+        setting.delay, evaluator.traffic.delay.values, scenario
+    )
+    tput = evaluator.engine.route_class(
+        setting.tput, evaluator.traffic.throughput.values, scenario
+    )
+    utilization = (routing.loads + tput.loads) / evaluator.network.capacity
+    per_pair = evaluator.engine.path_max_utilization(routing, utilization)
+    mask = ~np.isnan(per_pair)
+    values = per_pair[mask]
+    values = values[np.isfinite(values)]
+    return float(values.mean()) if values.size else 0.0
+
+
+def max_delay_carrying_utilization(
+    evaluator: DtrEvaluator,
+    setting: WeightSetting,
+    scenario: FailureScenario = NORMAL,
+) -> float:
+    """Fig. 5d's metric: max utilization among arcs carrying delay traffic."""
+    routing = evaluator.engine.route_class(
+        setting.delay, evaluator.traffic.delay.values, scenario
+    )
+    tput = evaluator.engine.route_class(
+        setting.tput, evaluator.traffic.throughput.values, scenario
+    )
+    total = routing.loads + tput.loads
+    utilization = total / evaluator.network.capacity
+    carrying = routing.loads > 0.0
+    if not carrying.any():
+        return 0.0
+    return float(utilization[carrying].max())

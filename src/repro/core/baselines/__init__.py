@@ -1,0 +1,30 @@
+"""Baselines the paper compares against (Sections II, IV-C, V-F).
+
+* :mod:`regular` — performance-only routing (Phase 1 alone, "NR").
+* :mod:`full_search` — robust optimization with ``Ec = E`` (brute force).
+* :mod:`random_selection` — Yuan '03: random critical links.
+* :mod:`load_based` — Fortz '03: highest-utilization links are critical.
+* :mod:`fluctuation_based` — Sridharan '05: links whose emulated-failure
+  costs cross good/bad thresholds are critical.
+* :mod:`node_failure` — robust optimization targeting node failures.
+"""
+
+from repro.core.baselines.fluctuation_based import (
+    fluctuation_critical_arcs,
+)
+from repro.core.baselines.full_search import full_search_optimize
+from repro.core.baselines.load_based import load_based_critical_arcs
+from repro.core.baselines.node_failure import node_failure_optimize
+from repro.core.baselines.random_selection import random_critical_arcs
+from repro.core.baselines.regular import regular_optimize
+from repro.core.baselines.common import optimize_with_critical_arcs
+
+__all__ = [
+    "fluctuation_critical_arcs",
+    "full_search_optimize",
+    "load_based_critical_arcs",
+    "node_failure_optimize",
+    "optimize_with_critical_arcs",
+    "random_critical_arcs",
+    "regular_optimize",
+]

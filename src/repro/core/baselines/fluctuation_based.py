@@ -1,0 +1,63 @@
+"""Threshold-crossing critical-link selection (Sridharan '05 [23]).
+
+[23] defines critical links as those whose network costs "vary wildly"
+across failure-emulating weight settings, operationalized with two
+thresholds bounding regions of good and bad performance: a link is the
+more critical the more its samples fall on *both* sides.  The paper
+(Section IV-C) reports that fixed thresholds do not transfer to DTR's
+wider cost ranges; this implementation keeps the scheme faithful —
+global quantile thresholds over the delay-class samples — so experiments
+can exhibit exactly that failure mode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.sampling import CostSampleStore
+
+
+def fluctuation_critical_arcs(
+    store: CostSampleStore,
+    target_size: int,
+    good_quantile: float = 0.25,
+    bad_quantile: float = 0.75,
+) -> tuple[int, ...]:
+    """Arcs ranked by how often their samples land in both cost regions.
+
+    Args:
+        store: the Phase-1 failure-cost samples.
+        target_size: desired ``|Ec|``.
+        good_quantile: global quantile defining the good region.
+        bad_quantile: global quantile defining the bad region.
+
+    Returns:
+        The ``target_size`` arcs with the highest fluctuation score,
+        where the score is ``min(#good, #bad)`` — samples on both sides
+        are what marks a link as weight-selection-sensitive.
+    """
+    if not 0 < good_quantile < bad_quantile < 1:
+        raise ValueError("need 0 < good_quantile < bad_quantile < 1")
+    num_arcs = store.num_arcs
+    if not 1 <= target_size <= num_arcs:
+        raise ValueError("target_size must lie in [1, num_arcs]")
+
+    pooled = np.concatenate(
+        [store.lam_samples(a) for a in range(num_arcs)]
+        or [np.zeros(0)]
+    )
+    if pooled.size == 0:
+        return tuple(range(target_size))
+    good = float(np.quantile(pooled, good_quantile))
+    bad = float(np.quantile(pooled, bad_quantile))
+
+    scores = np.zeros(num_arcs)
+    for arc in range(num_arcs):
+        samples = store.lam_samples(arc)
+        if samples.size == 0:
+            continue
+        scores[arc] = min(
+            int((samples <= good).sum()), int((samples >= bad).sum())
+        )
+    order = np.lexsort((np.arange(num_arcs), -scores))
+    return tuple(sorted(int(a) for a in order[:target_size]))

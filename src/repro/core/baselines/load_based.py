@@ -1,0 +1,37 @@
+"""Load-based critical-link selection (Fortz '03 [10], discussed in IV-C).
+
+Links are ranked by their impact on network utilization: the most-loaded
+links under the regular-optimal routing are deemed critical.  The paper
+notes this breaks down under DTR because load is not the dominant metric
+for the delay class.
+"""
+
+from __future__ import annotations
+
+from repro.core.evaluation import DtrEvaluator
+from repro.core.weights import WeightSetting
+
+import numpy as np
+
+
+def load_based_critical_arcs(
+    evaluator: DtrEvaluator,
+    setting: WeightSetting,
+    target_size: int,
+) -> tuple[int, ...]:
+    """The ``target_size`` arcs with the highest utilization.
+
+    Args:
+        evaluator: the cost oracle.
+        setting: the routing whose loads define criticality (use the
+            Phase 1 optimum).
+        target_size: desired ``|Ec|``.
+    """
+    num_arcs = evaluator.network.num_arcs
+    if not 1 <= target_size <= num_arcs:
+        raise ValueError("target_size must lie in [1, num_arcs]")
+    outcome = evaluator.evaluate_normal(setting)
+    order = np.lexsort(
+        (np.arange(num_arcs), -outcome.utilization)
+    )
+    return tuple(sorted(int(a) for a in order[:target_size]))

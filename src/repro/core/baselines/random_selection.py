@@ -1,0 +1,22 @@
+"""Random critical-link selection (Yuan '03 [24], discussed in IV-C).
+
+The earliest critical-link scheme simply samples the critical set
+uniformly at random.  The paper reports that DTR's enormous solution
+space makes this impractical; reproducing it quantifies that gap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.routing.network import Network
+
+
+def random_critical_arcs(
+    network: Network, target_size: int, rng: np.random.Generator
+) -> tuple[int, ...]:
+    """Uniformly random arc subset of the requested size."""
+    if not 1 <= target_size <= network.num_arcs:
+        raise ValueError("target_size must lie in [1, num_arcs]")
+    chosen = rng.choice(network.num_arcs, size=target_size, replace=False)
+    return tuple(sorted(int(a) for a in chosen))

@@ -1,0 +1,24 @@
+"""Regular (performance-only) optimization — the paper's "No Robust" arm.
+
+Runs Phase 1 alone: the weight setting minimizes ``K_normal`` and is
+oblivious to failures.  Every robustness table compares against this.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.evaluation import DtrEvaluator
+from repro.core.phase1 import Phase1Result, run_phase1
+
+
+def regular_optimize(
+    evaluator: DtrEvaluator, rng: np.random.Generator
+) -> Phase1Result:
+    """Optimize for normal conditions only.
+
+    Sample collection still runs (it is nearly free and keeps the result
+    reusable as the first half of a robust optimization), but nothing
+    downstream of Phase 1 executes.
+    """
+    return run_phase1(evaluator, rng)

@@ -1,0 +1,107 @@
+"""Rank-convergence test for criticality estimates (Section IV-D1).
+
+Between two ranking updates at ``t-1`` and ``t`` the paper evaluates, per
+arc, the rank displacement ``S_l(t) = |Rank(l, t) - Rank(l, t-1)|`` and
+aggregates ``S = sum_l gamma_l S_l(t)`` with weights ``gamma_l
+proportional to S_l(t)`` (so arcs that moved more count more; this makes
+``S = sum S_l^2 / sum S_l``).  Estimates are converged when the index of
+*both* traffic classes is at most the threshold ``e``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.criticality import CriticalityEstimate, descending_ranking
+
+
+def rank_positions(ranking: np.ndarray) -> np.ndarray:
+    """Invert a ranking: ``positions[arc] = rank of arc`` (0-based)."""
+    positions = np.empty_like(ranking)
+    positions[ranking] = np.arange(ranking.shape[0])
+    return positions
+
+
+def weighted_rank_change(
+    previous: np.ndarray, current: np.ndarray
+) -> float:
+    """The gamma-weighted rank-change index between two rankings.
+
+    Args:
+        previous: arc ids in descending criticality order at ``t-1``.
+        current: same at ``t``.
+
+    Returns:
+        ``sum_l gamma_l * S_l`` with ``gamma_l = S_l / sum_j S_j``; zero
+        when nothing moved.
+    """
+    if previous.shape != current.shape:
+        raise ValueError("rankings must cover the same arcs")
+    s = np.abs(
+        rank_positions(previous).astype(np.int64)
+        - rank_positions(current).astype(np.int64)
+    ).astype(np.float64)
+    total = s.sum()
+    if total <= 0.0:
+        return 0.0
+    return float((s * s).sum() / total)
+
+
+class RankConvergenceTracker:
+    """Tracks criticality-rank stability across sampling updates.
+
+    Args:
+        threshold: the convergence threshold ``e`` (paper: 2).
+
+    Call :meth:`update` after every ``tau``-per-arc batch of new samples;
+    :attr:`converged` turns true once both class indices drop to the
+    threshold.  At least two updates are needed before convergence can be
+    declared (a single ranking has nothing to be stable against).
+    """
+
+    def __init__(self, threshold: float) -> None:
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        self._threshold = threshold
+        self._prev_lam: np.ndarray | None = None
+        self._prev_phi: np.ndarray | None = None
+        self._index_lam: float | None = None
+        self._index_phi: float | None = None
+        self._updates = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def updates(self) -> int:
+        """Number of ranking updates seen."""
+        return self._updates
+
+    @property
+    def last_indices(self) -> tuple[float | None, float | None]:
+        """The latest ``(S_Lambda, S_Phi)`` values (None before two updates)."""
+        return self._index_lam, self._index_phi
+
+    @property
+    def converged(self) -> bool:
+        """Whether both class indices are at or below the threshold."""
+        if self._index_lam is None or self._index_phi is None:
+            return False
+        return (
+            self._index_lam <= self._threshold
+            and self._index_phi <= self._threshold
+        )
+
+    # ------------------------------------------------------------------
+    def update(self, estimate: CriticalityEstimate) -> None:
+        """Record a new criticality estimate and refresh the indices."""
+        ranking_lam = descending_ranking(estimate.rho_lam)
+        ranking_phi = descending_ranking(estimate.rho_phi)
+        if self._prev_lam is not None and self._prev_phi is not None:
+            self._index_lam = weighted_rank_change(
+                self._prev_lam, ranking_lam
+            )
+            self._index_phi = weighted_rank_change(
+                self._prev_phi, ranking_phi
+            )
+        self._prev_lam = ranking_lam
+        self._prev_phi = ranking_phi
+        self._updates += 1

@@ -1,0 +1,117 @@
+"""Link criticality (Eqs. 8-9) and its normalization (Section IV-D2).
+
+The criticality of arc ``l`` for a traffic class is the gap between the
+mean and the left-tail (smallest 10 %) mean of its failure-cost
+distribution: how much better an optimizer that *knows* about the arc can
+expect to do versus one that is oblivious to it.  Normalizing by the sum
+of all left-tail means (a lower-bound estimate of the achievable total
+failure cost) yields the relative deviations that Algorithm 1 trades off
+between the two classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import SamplingParams
+from repro.core.sampling import CostSampleStore, left_tail_mean
+
+
+@dataclass(frozen=True)
+class CriticalityEstimate:
+    """Per-arc criticality for both traffic classes.
+
+    Attributes:
+        rho_lam: raw delay-class criticality ``rho_Lambda,l`` (Eq. 8).
+        rho_phi: raw throughput-class criticality ``rho_Phi,l`` (Eq. 9).
+        tail_lam: per-arc left-tail means ``Lambda~_fail,l``.
+        tail_phi: per-arc left-tail means ``Phi~_fail,l``.
+        sample_counts: per-arc sample counts backing the estimate.
+    """
+
+    rho_lam: np.ndarray
+    rho_phi: np.ndarray
+    tail_lam: np.ndarray
+    tail_phi: np.ndarray
+    sample_counts: np.ndarray
+
+    @property
+    def num_arcs(self) -> int:
+        """Number of arcs covered."""
+        return self.rho_lam.shape[0]
+
+    @property
+    def normalized_lam(self) -> np.ndarray:
+        """``rho_Lambda,l / sum_j Lambda~_fail,j`` (zero-safe)."""
+        return _normalize(self.rho_lam, float(self.tail_lam.sum()))
+
+    @property
+    def normalized_phi(self) -> np.ndarray:
+        """``rho_Phi,l / sum_j Phi~_fail,j`` (zero-safe)."""
+        return _normalize(self.rho_phi, float(self.tail_phi.sum()))
+
+    def ranking_lam(self) -> np.ndarray:
+        """Arc ids sorted by descending delay-class criticality."""
+        return descending_ranking(self.rho_lam)
+
+    def ranking_phi(self) -> np.ndarray:
+        """Arc ids sorted by descending throughput-class criticality."""
+        return descending_ranking(self.rho_phi)
+
+
+def _normalize(rho: np.ndarray, denominator: float) -> np.ndarray:
+    """Divide by the tail-sum denominator, mapping a zero sum to zeros.
+
+    A zero denominator means no routing ever incurred that cost component
+    under any sampled failure — every arc is then equally (un)critical
+    for that class.
+    """
+    if denominator <= 0.0:
+        return np.zeros_like(rho)
+    return rho / denominator
+
+
+def descending_ranking(values: np.ndarray) -> np.ndarray:
+    """Indices sorted by descending value, ties broken by index.
+
+    Deterministic tie-breaking keeps rank-convergence tracking stable when
+    many arcs share a criticality of zero.
+    """
+    order = np.lexsort((np.arange(values.shape[0]), -values))
+    return order
+
+
+def estimate_criticality(
+    store: CostSampleStore, params: SamplingParams
+) -> CriticalityEstimate:
+    """Compute Eqs. (8)-(9) from the collected samples.
+
+    Arcs with no samples get zero criticality and zero tail means (they
+    never appeared failure-like in an acceptable routing, so there is no
+    evidence they matter).
+    """
+    n = store.num_arcs
+    rho_lam = np.zeros(n)
+    rho_phi = np.zeros(n)
+    tail_lam = np.zeros(n)
+    tail_phi = np.zeros(n)
+    for arc in range(n):
+        lam = store.lam_samples(arc)
+        phi = store.phi_samples(arc)
+        if lam.size == 0:
+            continue
+        t_lam = left_tail_mean(lam, params.left_tail_fraction)
+        t_phi = left_tail_mean(phi, params.left_tail_fraction)
+        tail_lam[arc] = t_lam
+        tail_phi[arc] = t_phi
+        rho_lam[arc] = float(lam.mean()) - t_lam
+        rho_phi[arc] = float(phi.mean()) - t_phi
+    return CriticalityEstimate(
+        rho_lam=rho_lam,
+        rho_phi=rho_phi,
+        tail_lam=tail_lam,
+        tail_phi=tail_phi,
+        sample_counts=store.counts(),
+    )

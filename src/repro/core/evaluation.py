@@ -1,0 +1,283 @@
+"""Evaluation of a DTR weight setting: the paper's cost oracle.
+
+:class:`DtrEvaluator` binds a network, the two traffic matrices and the
+cost-model parameters, and answers "what does weight setting ``W`` cost
+under scenario ``s``?"  Everything the optimizer and every experiment
+needs funnels through :meth:`DtrEvaluator.evaluate`:
+
+1. route each class by its own weights (SPF + ECMP);
+2. superpose class loads (shared FIFO) and derive per-arc delays (Eq. 1);
+3. delay class pays the SLA penalty Lambda (Eq. 2) on its worst used path;
+4. throughput class pays the Fortz–Thorup cost Phi on total loads.
+
+Failure sweeps exploit a structural shortcut: an arc that lies on no
+shortest-path DAG of a class under normal conditions cannot change that
+class's routing when it fails (removing a never-shortest arc leaves all
+shortest distances, DAGs and loads untouched), so the normal routing is
+reused.  Passing the normal-scenario evaluation as ``reuse`` enables the
+shortcut; tests pin it against the direct computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.config import OptimizerConfig
+from repro.core.delay import arc_delays
+from repro.core.fortz import fortz_cost
+from repro.core.lexicographic import CostPair
+from repro.core.sla import SlaOutcome, sla_outcome
+from repro.core.weights import WeightSetting
+from repro.routing.engine import ClassRouting, RoutingEngine
+from repro.routing.failures import NORMAL, FailureScenario, FailureSet
+from repro.routing.network import Network
+from repro.traffic.gravity import DtrTraffic
+
+
+@dataclass(frozen=True)
+class ScenarioEvaluation:
+    """Full outcome of one (weight setting, scenario) evaluation.
+
+    Attributes:
+        scenario: the failure scenario evaluated.
+        cost: the global cost ``K = <Lambda, Phi>``.
+        sla: SLA accounting for the delay class.
+        loads_delay: per-arc delay-class loads.
+        loads_tput: per-arc throughput-class loads.
+        arc_delay: per-arc delay ``D_l`` from total loads.
+        pair_delays: ``(N, N)`` end-to-end delay matrix of the delay class.
+        utilization: per-arc total utilization.
+        routing_delay: the delay-class routing (enables failure-sweep
+            reuse; None on reused evaluations).
+        routing_tput: the throughput-class routing.
+    """
+
+    scenario: FailureScenario
+    cost: CostPair
+    sla: SlaOutcome
+    loads_delay: np.ndarray
+    loads_tput: np.ndarray
+    arc_delay: np.ndarray
+    pair_delays: np.ndarray
+    utilization: np.ndarray
+    routing_delay: ClassRouting | None = None
+    routing_tput: ClassRouting | None = None
+
+    @property
+    def total_loads(self) -> np.ndarray:
+        """Per-arc load across both classes."""
+        return self.loads_delay + self.loads_tput
+
+
+@dataclass(frozen=True)
+class FailureEvaluation:
+    """Costs of one weight setting across a whole failure set.
+
+    Attributes:
+        evaluations: per-scenario outcomes, in scenario order.
+    """
+
+    evaluations: tuple[ScenarioEvaluation, ...]
+
+    def __len__(self) -> int:
+        return len(self.evaluations)
+
+    @property
+    def total_cost(self) -> CostPair:
+        """``K_fail``: component-wise sum over scenarios (Eq. 4 / Eq. 7)."""
+        return CostPair.total([e.cost for e in self.evaluations])
+
+    @property
+    def violations(self) -> np.ndarray:
+        """Per-scenario SLA violation counts."""
+        return np.asarray(
+            [e.sla.violations for e in self.evaluations], dtype=np.int64
+        )
+
+    @property
+    def phi_values(self) -> np.ndarray:
+        """Per-scenario throughput costs ``Phi_fail,l``."""
+        return np.asarray([e.cost.phi for e in self.evaluations])
+
+    def mean_violations(self) -> float:
+        """Average SLA violations per failure scenario."""
+        if not self.evaluations:
+            return 0.0
+        return float(self.violations.mean())
+
+    def top_fraction_mean_violations(self, fraction: float = 0.1) -> float:
+        """Mean violations over the worst ``fraction`` of scenarios.
+
+        The paper's "average top-10 % SLA violations" focuses on the
+        failures with the highest violation counts.
+        """
+        if not 0 < fraction <= 1:
+            raise ValueError("fraction must lie in (0, 1]")
+        if not self.evaluations:
+            return 0.0
+        counts = np.sort(self.violations)[::-1]
+        k = max(1, round(fraction * len(counts)))
+        return float(counts[:k].mean())
+
+
+def _used_arcs(routing: ClassRouting) -> np.ndarray:
+    """Arcs lying on any demand-carrying shortest-path DAG."""
+    if routing.masks.shape[0] == 0:
+        return np.zeros(routing.masks.shape[1], dtype=bool)
+    return routing.masks.any(axis=0)
+
+
+class DtrEvaluator:
+    """Cost oracle for one (network, traffic, configuration) instance."""
+
+    def __init__(
+        self,
+        network: Network,
+        traffic: DtrTraffic,
+        config: OptimizerConfig,
+        delay_mode: str = "worst",
+    ) -> None:
+        if traffic.num_nodes != network.num_nodes:
+            raise ValueError("traffic and network dimensions differ")
+        self._network = network
+        self._traffic = traffic
+        self._config = config
+        self._delay_mode = delay_mode
+        self._engine = RoutingEngine(network)
+        self._num_evaluations = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def network(self) -> Network:
+        """The evaluated topology."""
+        return self._network
+
+    @property
+    def traffic(self) -> DtrTraffic:
+        """The evaluated traffic instance."""
+        return self._traffic
+
+    @property
+    def config(self) -> OptimizerConfig:
+        """Cost-model and search parameters."""
+        return self._config
+
+    @property
+    def engine(self) -> RoutingEngine:
+        """The underlying routing engine."""
+        return self._engine
+
+    @property
+    def num_evaluations(self) -> int:
+        """How many scenario evaluations this oracle has performed."""
+        return self._num_evaluations
+
+    def with_traffic(self, traffic: DtrTraffic) -> "DtrEvaluator":
+        """A sibling evaluator for different (e.g. perturbed) traffic."""
+        return DtrEvaluator(
+            self._network, traffic, self._config, self._delay_mode
+        )
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        setting: WeightSetting,
+        scenario: FailureScenario = NORMAL,
+        reuse: ScenarioEvaluation | None = None,
+    ) -> ScenarioEvaluation:
+        """Cost of one weight setting under one scenario.
+
+        Args:
+            setting: the DTR weight setting.
+            scenario: failure scenario.
+            reuse: a NORMAL-scenario evaluation *of the same setting*
+                (with routings attached); classes whose shortest-path
+                DAGs avoid every failed arc are not re-routed.
+        """
+        if setting.num_arcs != self._network.num_arcs:
+            raise ValueError("weight setting does not match the network")
+        self._num_evaluations += 1
+
+        routing_d: ClassRouting | None = None
+        routing_t: ClassRouting | None = None
+        if (
+            reuse is not None
+            and scenario.failed_arcs
+            and not scenario.removed_nodes
+            and reuse.routing_delay is not None
+            and reuse.routing_tput is not None
+        ):
+            failed = list(scenario.failed_arcs)
+            if not _used_arcs(reuse.routing_delay)[failed].any():
+                routing_d = reuse.routing_delay
+            if not _used_arcs(reuse.routing_tput)[failed].any():
+                routing_t = reuse.routing_tput
+            if routing_d is not None and routing_t is not None:
+                # Neither class touched the failed arcs: identical costs.
+                return replace(
+                    reuse,
+                    scenario=scenario,
+                    routing_delay=None,
+                    routing_tput=None,
+                )
+
+        if routing_d is None:
+            routing_d = self._engine.route_class(
+                setting.delay, self._traffic.delay.values, scenario
+            )
+        if routing_t is None:
+            routing_t = self._engine.route_class(
+                setting.tput, self._traffic.throughput.values, scenario
+            )
+        total = routing_d.loads + routing_t.loads
+        delays = arc_delays(
+            total,
+            self._network.capacity,
+            self._network.prop_delay,
+            self._config.delay,
+        )
+        pair_delays = self._engine.path_delays(
+            routing_d, delays, mode=self._delay_mode
+        )
+        sla = sla_outcome(pair_delays, routing_d.demands, self._config.sla)
+        phi = fortz_cost(
+            total, self._network.capacity, include=routing_t.loads > 0.0
+        )
+        return ScenarioEvaluation(
+            scenario=scenario,
+            cost=CostPair(sla.cost, phi),
+            sla=sla,
+            loads_delay=routing_d.loads,
+            loads_tput=routing_t.loads,
+            arc_delay=delays,
+            pair_delays=pair_delays,
+            utilization=total / self._network.capacity,
+            routing_delay=routing_d,
+            routing_tput=routing_t,
+        )
+
+    def evaluate_normal(self, setting: WeightSetting) -> ScenarioEvaluation:
+        """Cost under the failure-free scenario."""
+        return self.evaluate(setting, NORMAL)
+
+    def evaluate_failures(
+        self,
+        setting: WeightSetting,
+        failures: FailureSet,
+        reuse: ScenarioEvaluation | None = None,
+    ) -> FailureEvaluation:
+        """Cost of the setting under every scenario of a failure set.
+
+        Args:
+            setting: the DTR weight setting.
+            failures: scenarios to sweep.
+            reuse: optional NORMAL evaluation of ``setting`` for the
+                unchanged-routing shortcut (computed on demand if omitted).
+        """
+        if reuse is None:
+            reuse = self.evaluate_normal(setting)
+        return FailureEvaluation(
+            tuple(self.evaluate(setting, s, reuse=reuse) for s in failures)
+        )

@@ -1,0 +1,105 @@
+"""Lexicographic global cost ``K = <Lambda, Phi>`` (Section III).
+
+Delay-sensitive traffic takes precedence: ``K1 > K2`` iff
+``Lambda1 > Lambda2``, or ``Lambda1 == Lambda2`` and ``Phi1 > Phi2``.
+Comparisons use small tolerances so floating-point noise in the routing
+evaluation cannot flip an ordering.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Absolute tolerance when comparing Lambda values (penalty units).
+LAMBDA_TOLERANCE = 1e-6
+
+#: Relative tolerance when comparing Phi values.
+PHI_RELATIVE_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True, order=False)
+class CostPair:
+    """One global cost value ``<Lambda, Phi>``.
+
+    Attributes:
+        lam: delay-class SLA penalty ``Lambda``.
+        phi: throughput-class congestion cost ``Phi``.
+    """
+
+    lam: float
+    phi: float
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.lam) or math.isnan(self.phi):
+            raise ValueError("cost components must not be NaN")
+
+    # ------------------------------------------------------------------
+    # ordering
+    # ------------------------------------------------------------------
+    def lam_equals(self, other: "CostPair") -> bool:
+        """Whether the Lambda components are equal up to tolerance."""
+        return abs(self.lam - other.lam) <= LAMBDA_TOLERANCE
+
+    def phi_equals(self, other: "CostPair") -> bool:
+        """Whether the Phi components are equal up to tolerance."""
+        scale = max(abs(self.phi), abs(other.phi), 1.0)
+        return abs(self.phi - other.phi) <= PHI_RELATIVE_TOLERANCE * scale
+
+    def __lt__(self, other: "CostPair") -> bool:
+        if not self.lam_equals(other):
+            return self.lam < other.lam
+        if not self.phi_equals(other):
+            return self.phi < other.phi
+        return False
+
+    def __le__(self, other: "CostPair") -> bool:
+        return not other < self
+
+    def __gt__(self, other: "CostPair") -> bool:
+        return other < self
+
+    def __ge__(self, other: "CostPair") -> bool:
+        return not self < other
+
+    def is_better_than(self, other: "CostPair") -> bool:
+        """Strictly better (lower) in the lexicographic order."""
+        return self < other
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: "CostPair") -> "CostPair":
+        return CostPair(self.lam + other.lam, self.phi + other.phi)
+
+    @classmethod
+    def zero(cls) -> "CostPair":
+        """The additive identity."""
+        return cls(0.0, 0.0)
+
+    @classmethod
+    def total(cls, costs: list["CostPair"]) -> "CostPair":
+        """Component-wise sum of a list of costs."""
+        return cls(
+            sum(c.lam for c in costs),
+            sum(c.phi for c in costs),
+        )
+
+    def __repr__(self) -> str:
+        return f"CostPair(lam={self.lam:.6g}, phi={self.phi:.6g})"
+
+
+def relative_improvement(before: CostPair, after: CostPair) -> float:
+    """Relative cost reduction achieved by moving from ``before`` to ``after``.
+
+    The search's stopping rule compares this against the cutoff ``c``.
+    Improvement is measured on the dominant component: on Lambda when it
+    changed, otherwise on Phi.  Non-improvements return 0.
+    """
+    if after.is_better_than(before):
+        if not before.lam_equals(after):
+            base = max(abs(before.lam), LAMBDA_TOLERANCE)
+            return (before.lam - after.lam) / base
+        base = max(abs(before.phi), PHI_RELATIVE_TOLERANCE)
+        return (before.phi - after.phi) / base
+    return 0.0

@@ -1,0 +1,125 @@
+"""Cost-sample collection for criticality estimation (Section IV-D1).
+
+During Phase 1a every weight perturbation that (a) starts from an
+*acceptable* weight setting and (b) pushes both class weights of an arc
+into the failure-emulation band ``[q * w_max, w_max]`` contributes one
+``(Lambda, Phi)`` sample to that arc's failure-cost distribution.  The
+:class:`CostSampleStore` keeps those samples; criticality (Eqs. 8-9)
+is derived from them in :mod:`repro.core.criticality`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import SamplingParams
+from repro.core.lexicographic import CostPair
+
+
+@dataclass(frozen=True)
+class AcceptabilityRule:
+    """Section IV-D1's relaxed acceptability test for sample collection.
+
+    A pre-perturbation cost is acceptable when its delay cost does not
+    exceed the best Lambda found so far by more than ``z * B1`` and its
+    throughput cost stays below ``(1 + chi)`` times the best Phi.
+
+    Attributes:
+        z: delay-class slack factor (paper: 0.5).
+        chi: throughput-class slack factor (paper: 0.2).
+        b1: the fixed SLA penalty ``B1`` the slack is expressed in.
+    """
+
+    z: float
+    chi: float
+    b1: float
+
+    def is_acceptable(self, cost: CostPair, best: CostPair) -> bool:
+        """Whether ``cost`` qualifies relative to the current ``best``."""
+        return (
+            cost.lam <= best.lam + self.z * self.b1
+            and cost.phi <= (1.0 + self.chi) * best.phi
+        )
+
+
+class CostSampleStore:
+    """Per-arc failure-cost samples.
+
+    Args:
+        num_arcs: number of arcs tracked.
+    """
+
+    def __init__(self, num_arcs: int) -> None:
+        if num_arcs < 1:
+            raise ValueError("num_arcs must be positive")
+        self._lam: list[list[float]] = [[] for _ in range(num_arcs)]
+        self._phi: list[list[float]] = [[] for _ in range(num_arcs)]
+        self._total = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def num_arcs(self) -> int:
+        """Number of arcs tracked."""
+        return len(self._lam)
+
+    @property
+    def total_samples(self) -> int:
+        """Total samples recorded across all arcs."""
+        return self._total
+
+    def add(self, arc: int, lam: float, phi: float) -> None:
+        """Record one ``(Lambda, Phi)`` failure-cost sample for an arc."""
+        self._lam[arc].append(float(lam))
+        self._phi[arc].append(float(phi))
+        self._total += 1
+
+    def count(self, arc: int) -> int:
+        """Number of samples recorded for one arc."""
+        return len(self._lam[arc])
+
+    def counts(self) -> np.ndarray:
+        """Per-arc sample counts."""
+        return np.asarray([len(s) for s in self._lam], dtype=np.int64)
+
+    def lam_samples(self, arc: int) -> np.ndarray:
+        """The Lambda samples of one arc."""
+        return np.asarray(self._lam[arc], dtype=np.float64)
+
+    def phi_samples(self, arc: int) -> np.ndarray:
+        """The Phi samples of one arc."""
+        return np.asarray(self._phi[arc], dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    def least_sampled_arcs(self, k: int = 1) -> list[int]:
+        """The ``k`` arcs with the fewest samples (ties by arc id)."""
+        counts = self.counts()
+        order = np.lexsort((np.arange(len(counts)), counts))
+        return [int(a) for a in order[:k]]
+
+    def has_min_samples(self, minimum: int) -> bool:
+        """Whether every arc has at least ``minimum`` samples."""
+        return bool(self.counts().min() >= minimum)
+
+
+def left_tail_mean(samples: np.ndarray, fraction: float) -> float:
+    """Mean of the smallest ``fraction`` of the samples.
+
+    At least one sample is always included, so with few samples the tail
+    mean degrades gracefully to the minimum.
+    """
+    if samples.size == 0:
+        return 0.0
+    if not 0 < fraction <= 1:
+        raise ValueError("fraction must lie in (0, 1]")
+    k = max(1, int(np.floor(fraction * samples.size)))
+    smallest = np.partition(samples, k - 1)[:k]
+    return float(smallest.mean())
+
+
+def acceptability_rule(
+    params: SamplingParams, b1: float
+) -> AcceptabilityRule:
+    """Build the acceptability test from sampling parameters."""
+    return AcceptabilityRule(z=params.z, chi=params.chi, b1=b1)

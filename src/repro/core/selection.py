@@ -1,0 +1,116 @@
+"""Critical-link selection: Algorithm 1 of the paper (Section IV-D2).
+
+Given the normalized per-class criticalities, links are sorted into two
+descending lists ``E_Lambda`` and ``E_Phi``.  Keeping only the top-``m``
+of a list leaves an expected normalized optimization error equal to the
+sum of the truncated tail.  Algorithm 1 starts from both full lists and
+repeatedly shrinks whichever list would lose *less* error by dropping its
+last element, until the union of the two list heads reaches the target
+size ``n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.criticality import CriticalityEstimate, descending_ranking
+
+
+@dataclass(frozen=True)
+class CriticalSelection:
+    """Outcome of the critical-link selection.
+
+    Attributes:
+        critical_arcs: the selected arc ids, ascending.
+        kept_lam: how many arcs of the delay-class list were kept (n1).
+        kept_phi: how many arcs of the throughput-class list were kept (n2).
+        residual_error_lam: normalized error left out of the delay list.
+        residual_error_phi: normalized error left out of the tput list.
+    """
+
+    critical_arcs: tuple[int, ...]
+    kept_lam: int
+    kept_phi: int
+    residual_error_lam: float
+    residual_error_phi: float
+
+    def __len__(self) -> int:
+        return len(self.critical_arcs)
+
+
+def tail_error(sorted_values: np.ndarray) -> np.ndarray:
+    """``err[m] = sum of sorted_values[m:]`` for every head size ``m``.
+
+    ``sorted_values`` must already be in descending criticality order;
+    the output has length ``len(values) + 1`` with ``err[len] = 0``.
+    """
+    reversed_cumsum = np.concatenate(
+        ([0.0], np.cumsum(sorted_values[::-1]))
+    )[::-1]
+    return reversed_cumsum
+
+
+def select_critical_links(
+    estimate: CriticalityEstimate, target_size: int
+) -> CriticalSelection:
+    """Run Algorithm 1.
+
+    Args:
+        estimate: criticality estimates for every arc.
+        target_size: desired ``|Ec|``; the result may be smaller when the
+            two list heads overlap heavily (the loop stops at the first
+            union of size at most the target... the union shrinks by at
+            most one per step, so the result has size <= target and the
+            largest achievable size not exceeding it).
+
+    Returns:
+        The selected arcs plus diagnostics.
+    """
+    n = estimate.num_arcs
+    if not 1 <= target_size <= n:
+        raise ValueError("target_size must lie in [1, num_arcs]")
+
+    rho_lam = estimate.normalized_lam
+    rho_phi = estimate.normalized_phi
+    order_lam = descending_ranking(rho_lam)
+    order_phi = descending_ranking(rho_phi)
+    sorted_lam = rho_lam[order_lam]
+    sorted_phi = rho_phi[order_phi]
+    err_lam = tail_error(sorted_lam)
+    err_phi = tail_error(sorted_phi)
+
+    n1 = n
+    n2 = n
+
+    def union_size(k1: int, k2: int) -> int:
+        if k1 == 0:
+            return k2
+        if k2 == 0:
+            return k1
+        head = set(order_lam[:k1].tolist())
+        head.update(order_phi[:k2].tolist())
+        return len(head)
+
+    while union_size(n1, n2) > target_size and (n1 > 0 or n2 > 0):
+        # Shrinking the Lambda list to n1-1 leaves error err_lam[n1-1];
+        # keep the list whose shrink would hurt more.
+        shrink_lam_error = err_lam[n1 - 1] if n1 > 0 else np.inf
+        shrink_phi_error = err_phi[n2 - 1] if n2 > 0 else np.inf
+        if n2 > 0 and shrink_lam_error >= shrink_phi_error:
+            n2 -= 1
+        elif n1 > 0:
+            n1 -= 1
+        else:
+            break
+
+    selected: set[int] = set(order_lam[:n1].tolist())
+    selected.update(order_phi[:n2].tolist())
+    return CriticalSelection(
+        critical_arcs=tuple(sorted(int(a) for a in selected)),
+        kept_lam=n1,
+        kept_phi=n2,
+        residual_error_lam=float(err_lam[n1]),
+        residual_error_phi=float(err_phi[n2]),
+    )

@@ -1,0 +1,116 @@
+"""DTR weight settings: two integer weights per arc (Section III).
+
+``W := union over arcs of {W_l^D, W_l^T}`` — one weight per arc per
+traffic class, forming two logical topologies over the shared physical
+network.  The local search mutates settings in place and copies on
+acceptance, so the class is deliberately a thin mutable wrapper around two
+int64 arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import WeightParams
+
+
+class WeightSetting:
+    """One DTR weight assignment.
+
+    Attributes:
+        delay: per-arc weights ``W^D`` for the delay-sensitive topology.
+        tput: per-arc weights ``W^T`` for the throughput-sensitive one.
+    """
+
+    __slots__ = ("delay", "tput")
+
+    def __init__(self, delay: np.ndarray, tput: np.ndarray) -> None:
+        delay = np.asarray(delay, dtype=np.int64)
+        tput = np.asarray(tput, dtype=np.int64)
+        if delay.shape != tput.shape or delay.ndim != 1:
+            raise ValueError("weight arrays must be 1-D and equally sized")
+        if np.any(delay < 1) or np.any(tput < 1):
+            raise ValueError("weights must be >= 1")
+        self.delay = delay
+        self.tput = tput
+
+    # ------------------------------------------------------------------
+    @property
+    def num_arcs(self) -> int:
+        """Number of arcs covered by this setting."""
+        return self.delay.shape[0]
+
+    @classmethod
+    def uniform(cls, num_arcs: int, value: int = 1) -> "WeightSetting":
+        """All-equal weights (hop-count routing) for both classes."""
+        return cls(
+            np.full(num_arcs, value, dtype=np.int64),
+            np.full(num_arcs, value, dtype=np.int64),
+        )
+
+    @classmethod
+    def random(
+        cls,
+        num_arcs: int,
+        params: WeightParams,
+        rng: np.random.Generator,
+    ) -> "WeightSetting":
+        """Uniformly random weights in ``[w_min, w_max]`` for both classes."""
+        return cls(
+            rng.integers(params.w_min, params.w_max + 1, size=num_arcs),
+            rng.integers(params.w_min, params.w_max + 1, size=num_arcs),
+        )
+
+    def copy(self) -> "WeightSetting":
+        """An independent copy (arrays are duplicated)."""
+        return WeightSetting(self.delay.copy(), self.tput.copy())
+
+    # ------------------------------------------------------------------
+    def arc_pair(self, arc: int) -> tuple[int, int]:
+        """The ``(W^D, W^T)`` pair of one arc."""
+        return int(self.delay[arc]), int(self.tput[arc])
+
+    def set_arc(self, arc: int, w_delay: int, w_tput: int) -> None:
+        """Assign both class weights of one arc (in place)."""
+        if w_delay < 1 or w_tput < 1:
+            raise ValueError("weights must be >= 1")
+        self.delay[arc] = w_delay
+        self.tput[arc] = w_tput
+
+    def emulates_failure(self, arc: int, params: WeightParams) -> bool:
+        """Whether both class weights of ``arc`` are failure-like.
+
+        Section IV-D1 records a cost sample for arc ``l`` when both of its
+        perturbed weights land in ``[q * w_max, w_max]``.
+        """
+        floor = params.failure_emulation_floor
+        return (
+            self.delay[arc] >= floor
+            and self.tput[arc] >= floor
+            and self.delay[arc] <= params.w_max
+            and self.tput[arc] <= params.w_max
+        )
+
+    def fail_arc_weights(
+        self, arc: int, params: WeightParams, rng: np.random.Generator
+    ) -> None:
+        """Set both weights of ``arc`` to random failure-like values."""
+        floor = params.failure_emulation_floor
+        self.delay[arc] = int(rng.integers(floor, params.w_max + 1))
+        self.tput[arc] = int(rng.integers(floor, params.w_max + 1))
+
+    # ------------------------------------------------------------------
+    def key(self) -> tuple[bytes, bytes]:
+        """Hashable snapshot for deduplicating recorded settings."""
+        return (self.delay.tobytes(), self.tput.tobytes())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WeightSetting):
+            return NotImplemented
+        return bool(
+            np.array_equal(self.delay, other.delay)
+            and np.array_equal(self.tput, other.tput)
+        )
+
+    def __repr__(self) -> str:
+        return f"WeightSetting(num_arcs={self.num_arcs})"

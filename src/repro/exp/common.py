@@ -1,0 +1,189 @@
+"""Shared experiment harness: instances, arms, and result rendering.
+
+Every experiment module builds problem *instances* (topology + traffic)
+via :func:`make_instance`, runs optimization *arms* (robust / regular /
+baseline variants), and packages rows + figure series into an
+:class:`ExperimentResult` that the benchmarks print and EXPERIMENTS.md
+records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.series import FigureData, render_series
+from repro.analysis.tables import render_kv, render_table
+from repro.config import OptimizerConfig
+from repro.core.evaluation import DtrEvaluator
+from repro.core.optimizer import RobustDtrOptimizer, RobustRoutingResult
+from repro.exp.presets import Preset, get_preset
+from repro.routing.failures import FailureModel
+from repro.routing.network import Network
+from repro.topology import (
+    isp_topology,
+    near_topology,
+    powerlaw_topology,
+    rand_topology,
+    scale_to_diameter,
+)
+from repro.traffic import DtrTraffic, dtr_traffic, scale_to_utilization
+
+#: Default SLA bound used by the paper (seconds).
+DEFAULT_THETA = 0.025
+
+#: Seed namespace separating topology/traffic/search randomness.
+_TOPOLOGY_STREAM = 1
+_TRAFFIC_STREAM = 2
+_SEARCH_STREAM = 3
+
+
+@dataclass(frozen=True)
+class Instance:
+    """One problem instance: a topology carrying scaled two-class traffic.
+
+    Attributes:
+        network: the topology (delays already scaled to the SLA bound).
+        traffic: the two-class traffic, scaled to the target utilization.
+        label: e.g. ``"RandTopo[30,180]"``.
+        seed: the instance seed (controls topology and traffic draws).
+    """
+
+    network: Network
+    traffic: DtrTraffic
+    label: str
+    seed: int
+
+
+def instance_rng(seed: int, stream: int) -> np.random.Generator:
+    """Independent generator for one randomness stream of an instance."""
+    return np.random.default_rng(np.random.SeedSequence((seed, stream)))
+
+
+def make_topology(
+    kind: str,
+    num_nodes: int,
+    mean_degree: float,
+    seed: int,
+    theta: float = DEFAULT_THETA,
+    diameter_fraction: float = 1.0,
+) -> Network:
+    """Build one of the paper's topology families, delay-scaled.
+
+    Args:
+        kind: ``"rand"``, ``"near"``, ``"pl"`` or ``"isp"``.
+        num_nodes: node count (ignored for ``"isp"``).
+        mean_degree: target mean degree (for ``"pl"`` the BA attachment
+            count is ``round(mean_degree / 2)``; ignored for ``"isp"``).
+        seed: topology randomness seed.
+        theta: SLA bound the propagation diameter is scaled to.
+        diameter_fraction: scale diameter to ``fraction * theta``.
+    """
+    rng = instance_rng(seed, _TOPOLOGY_STREAM)
+    if kind == "rand":
+        net = rand_topology(num_nodes, mean_degree, rng)
+    elif kind == "near":
+        net = near_topology(num_nodes, mean_degree, rng)
+    elif kind == "pl":
+        attachments = max(1, round(mean_degree / 2))
+        net = powerlaw_topology(num_nodes, attachments, rng)
+    elif kind == "isp":
+        net = isp_topology()
+    else:
+        raise ValueError(f"unknown topology kind {kind!r}")
+    return scale_to_diameter(net, theta * diameter_fraction)
+
+
+def make_instance(
+    kind: str,
+    num_nodes: int,
+    mean_degree: float,
+    seed: int,
+    target_utilization: float = 0.43,
+    utilization_statistic: str = "mean",
+    theta: float = DEFAULT_THETA,
+    delay_fraction: float = 0.3,
+    diameter_fraction: float = 1.0,
+) -> Instance:
+    """Build a full problem instance (topology + scaled traffic)."""
+    network = make_topology(
+        kind, num_nodes, mean_degree, seed, theta, diameter_fraction
+    )
+    rng = instance_rng(seed, _TRAFFIC_STREAM)
+    traffic = dtr_traffic(
+        network.num_nodes, rng, 1.0, delay_fraction=delay_fraction
+    )
+    traffic = scale_to_utilization(
+        network, traffic, target_utilization, utilization_statistic
+    )
+    label = f"{network.name}[{network.num_nodes},{network.num_arcs}]"
+    return Instance(
+        network=network, traffic=traffic, label=label, seed=seed
+    )
+
+
+def run_arms(
+    instance: Instance,
+    config: OptimizerConfig,
+    seed: int,
+    critical_fraction: float | None = None,
+    full_search: bool = False,
+) -> RobustRoutingResult:
+    """Run the two-phase optimizer on an instance (robust + regular arms)."""
+    rng = instance_rng(seed, _SEARCH_STREAM)
+    optimizer = RobustDtrOptimizer(
+        instance.network,
+        instance.traffic,
+        config,
+        failure_model=FailureModel.LINK,
+        rng=rng,
+    )
+    return optimizer.run(
+        critical_fraction=critical_fraction, full_search=full_search
+    )
+
+
+def evaluator_for(
+    instance: Instance, config: OptimizerConfig
+) -> DtrEvaluator:
+    """A fresh cost oracle for an instance."""
+    return DtrEvaluator(instance.network, instance.traffic, config)
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment produced.
+
+    Attributes:
+        experiment_id: e.g. ``"table2"``.
+        title: one-line description.
+        preset: the preset name used.
+        rows: table rows (dicts), ready for ``render_table``.
+        figures: figure panels (sorted numeric series).
+        context: run parameters worth recording.
+    """
+
+    experiment_id: str
+    title: str
+    preset: str
+    rows: list[dict[str, object]] = field(default_factory=list)
+    figures: list[FigureData] = field(default_factory=list)
+    context: dict[str, object] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Render the full experiment output as text."""
+        parts = [f"== {self.experiment_id}: {self.title} "
+                 f"(preset={self.preset}) =="]
+        if self.context:
+            parts.append(render_kv(self.context, "parameters:"))
+        if self.rows:
+            parts.append(render_table(self.rows))
+        for figure in self.figures:
+            parts.append(render_series(figure))
+        return "\n\n".join(parts)
+
+
+def resolve(preset: "str | Preset") -> Preset:
+    """Shorthand re-export of :func:`repro.exp.presets.get_preset`."""
+    return get_preset(preset)

@@ -1,0 +1,140 @@
+"""Execution presets for the experiment harness.
+
+The paper's searches run for hours per instance (Section IV-E2); the
+algorithms here are identical but *anytime*, so presets scale the
+instance sizes and search budgets:
+
+* ``quick``   — minutes for the whole suite; small topologies, short
+  schedules; used by the pytest benchmarks.
+* ``default`` — paper-sized topologies with reduced schedules; tens of
+  minutes per experiment.
+* ``paper``   — the published parameters (P1=20, P2=10, intervals
+  100/30, c=0.1 %, 5 repeats); hours per experiment, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import (
+    OptimizerConfig,
+    SamplingParams,
+    SearchParams,
+)
+
+
+@dataclass(frozen=True)
+class Preset:
+    """One execution scale for experiments.
+
+    Attributes:
+        name: preset id.
+        repeats: experiment repetitions (the paper uses 5).
+        node_scale: multiplier applied to the paper's synthetic-topology
+            node counts (the ISP topology is never scaled).
+        min_nodes: lower bound after scaling.
+        config: optimizer configuration (search + sampling budgets).
+        uncertainty_instances: random traffic instances for Fig. 6.
+    """
+
+    name: str
+    repeats: int
+    node_scale: float
+    min_nodes: int
+    config: OptimizerConfig
+    uncertainty_instances: int
+
+    def scaled_nodes(self, paper_nodes: int) -> int:
+        """Scale a paper node count to this preset."""
+        return max(self.min_nodes, round(paper_nodes * self.node_scale))
+
+
+QUICK = Preset(
+    name="quick",
+    repeats=1,
+    node_scale=0.4,
+    min_nodes=10,
+    config=OptimizerConfig(
+        search=SearchParams(
+            phase1_diversification_interval=6,
+            phase1_diversifications=2,
+            phase2_diversification_interval=4,
+            phase2_diversifications=1,
+            improvement_cutoff=0.001,
+            arcs_per_iteration_fraction=0.4,
+            round_iteration_cap_factor=4,
+            max_iterations=300,
+        ),
+        sampling=SamplingParams(
+            tau=2, min_samples_per_link=3, max_extra_samples=1000
+        ),
+        critical_fraction=0.15,
+        keep_acceptable_settings=6,
+    ),
+    uncertainty_instances=10,
+)
+
+DEFAULT = Preset(
+    name="default",
+    repeats=2,
+    node_scale=1.0,
+    min_nodes=10,
+    config=OptimizerConfig(
+        search=SearchParams(
+            phase1_diversification_interval=20,
+            phase1_diversifications=5,
+            phase2_diversification_interval=10,
+            phase2_diversifications=4,
+            improvement_cutoff=0.001,
+            arcs_per_iteration_fraction=0.5,
+            round_iteration_cap_factor=8,
+            max_iterations=4000,
+        ),
+        sampling=SamplingParams(
+            tau=6, min_samples_per_link=6, max_extra_samples=8000
+        ),
+        critical_fraction=0.15,
+        keep_acceptable_settings=10,
+    ),
+    uncertainty_instances=30,
+)
+
+PAPER = Preset(
+    name="paper",
+    repeats=5,
+    node_scale=1.0,
+    min_nodes=10,
+    config=OptimizerConfig(
+        search=SearchParams(
+            phase1_diversification_interval=100,
+            phase1_diversifications=20,
+            phase2_diversification_interval=30,
+            phase2_diversifications=10,
+            improvement_cutoff=0.001,
+            arcs_per_iteration_fraction=1.0,
+            round_iteration_cap_factor=10,
+            max_iterations=1_000_000,
+        ),
+        sampling=SamplingParams(
+            tau=30, min_samples_per_link=10, max_extra_samples=50_000
+        ),
+        critical_fraction=0.15,
+        keep_acceptable_settings=10,
+    ),
+    uncertainty_instances=100,
+)
+
+_PRESETS = {p.name: p for p in (QUICK, DEFAULT, PAPER)}
+
+
+def get_preset(name_or_preset: "str | Preset") -> Preset:
+    """Resolve a preset by name (or pass one through)."""
+    if isinstance(name_or_preset, Preset):
+        return name_or_preset
+    try:
+        return _PRESETS[name_or_preset]
+    except KeyError:
+        raise ValueError(
+            f"unknown preset {name_or_preset!r}; "
+            f"choose from {sorted(_PRESETS)}"
+        ) from None

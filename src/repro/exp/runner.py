@@ -1,0 +1,116 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    repro-exp --list
+    repro-exp table2 --preset quick --seed 0
+    repro-exp all --preset default
+
+Each experiment prints the table rows and figure series the corresponding
+paper artifact reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+from typing import Callable
+
+from repro.exp.common import ExperimentResult
+
+#: Registered experiment ids: paper artifacts in paper order, then the
+#: supporting/extension experiments (Sections IV-C, V-B, V-F footnote 16,
+#: and DESIGN.md's ablations).
+EXPERIMENTS: tuple[str, ...] = (
+    "table1",
+    "table1_load",
+    "timing",
+    "table2",
+    "fig3",
+    "fig4",
+    "table3",
+    "table4",
+    "fig5a",
+    "fig5bc",
+    "fig5d",
+    "table5",
+    "fig6",
+    "fig7",
+    "selectors",
+    "resize",
+    "diversity",
+    "multi_failure",
+    "ablation",
+)
+
+
+def load_experiment(
+    experiment_id: str,
+) -> Callable[..., ExperimentResult]:
+    """Import an experiment module and return its ``run`` callable."""
+    if experiment_id not in EXPERIMENTS:
+        raise ValueError(
+            f"unknown experiment {experiment_id!r}; "
+            f"choose from {', '.join(EXPERIMENTS)}"
+        )
+    module = importlib.import_module(f"repro.exp.{experiment_id}")
+    return module.run
+
+
+def run_experiment(
+    experiment_id: str, preset: str = "quick", seed: int = 0
+) -> ExperimentResult:
+    """Run one experiment and return its result."""
+    return load_experiment(experiment_id)(preset=preset, seed=seed)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro-exp",
+        description=(
+            "Regenerate the tables and figures of 'Balancing "
+            "Performance, Robustness and Flexibility in Routing Systems'."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        help="experiment id (or 'all')",
+    )
+    parser.add_argument(
+        "--preset",
+        default="quick",
+        choices=("quick", "default", "paper"),
+        help="execution scale (default: quick)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base seed")
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiment:
+        print("available experiments:")
+        for experiment_id in EXPERIMENTS:
+            print(f"  {experiment_id}")
+        return 0
+
+    targets = (
+        list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    )
+    for experiment_id in targets:
+        start = time.perf_counter()
+        result = run_experiment(
+            experiment_id, preset=args.preset, seed=args.seed
+        )
+        elapsed = time.perf_counter() - start
+        print(result.render())
+        print(f"\n[{experiment_id} finished in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

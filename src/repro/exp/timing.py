@@ -1,0 +1,91 @@
+"""Section IV-E2: computational savings of the critical search.
+
+The paper reports Phase 1 / Phase 2 wall-clock times for the critical
+search versus the full search on a 30-node, 240-arc RandTopo with
+``|Ec|/|E| = 0.1``: the critical search slightly lengthens Phase 1
+(sample generation) and massively shortens Phase 2 (fewer failure
+scenarios per candidate), with savings proportional to
+``1 - |Ec|/|E|``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.baselines import (
+    full_search_optimize,
+    optimize_with_critical_arcs,
+)
+from repro.core.phase1 import run_phase1
+from repro.core.selection import select_critical_links
+from repro.exp.common import (
+    ExperimentResult,
+    evaluator_for,
+    instance_rng,
+    make_instance,
+)
+from repro.exp.presets import Preset, get_preset
+
+
+def run(
+    preset: "str | Preset" = "quick",
+    seed: int = 0,
+    critical_fraction: float = 0.1,
+) -> ExperimentResult:
+    """Regenerate the Phase-1/Phase-2 timing comparison."""
+    preset = get_preset(preset)
+    nodes = preset.scaled_nodes(30)
+    # The paper uses a 30-node, 240-arc RandTopo (degree 8); the quick
+    # preset thins the graph so the full-search arm stays benchable.
+    degree = 5.0 if preset.name == "quick" else 8.0
+    instance = make_instance("rand", nodes, degree, seed=seed)
+    evaluator = evaluator_for(instance, preset.config)
+    rng = instance_rng(instance.seed, 32)
+
+    t0 = time.perf_counter()
+    phase1 = run_phase1(evaluator, rng)
+    t1 = time.perf_counter()
+    phase1_seconds = t1 - t0
+
+    target = max(1, round(critical_fraction * instance.network.num_arcs))
+    selection = select_critical_links(phase1.estimate, target)
+
+    t0 = time.perf_counter()
+    critical = optimize_with_critical_arcs(
+        evaluator, phase1, selection.critical_arcs, rng
+    )
+    t_crt = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    full = full_search_optimize(evaluator, phase1, rng)
+    t_full = time.perf_counter() - t0
+
+    result = ExperimentResult(
+        experiment_id="timing",
+        title="Phase-2 computational savings of the critical search",
+        preset=preset.name,
+        context={
+            "topology": instance.label,
+            "|Ec|/|E|": critical_fraction,
+            "|Ec|": len(selection.critical_arcs),
+        },
+    )
+    result.rows.append(
+        {
+            "phase": "phase 1 (shared)",
+            "critical_s": phase1_seconds,
+            "full_s": phase1_seconds,
+            "speedup": 1.0,
+        }
+    )
+    result.rows.append(
+        {
+            "phase": "phase 2",
+            "critical_s": t_crt,
+            "full_s": t_full,
+            "speedup": (t_full / t_crt) if t_crt > 0 else float("inf"),
+        }
+    )
+    result.context["critical evals"] = critical.stats.evaluations
+    result.context["full evals"] = full.stats.evaluations
+    return result

@@ -1,0 +1,49 @@
+"""Multi-Topology Routing generalization (k classes; DTR is k = 2).
+
+The paper's Section I positions DTR as "the most basic setting" of MTR;
+this subpackage extends the cost model, criticality machinery and
+two-phase optimizer to arbitrarily many prioritized traffic classes.
+"""
+
+from repro.mtr.classes import (
+    CostModel,
+    MtrClass,
+    MtrInstance,
+    dtr_instance,
+)
+from repro.mtr.cost_vector import CostVector, components_equal
+from repro.mtr.criticality import (
+    MtrCriticality,
+    MtrSampleStore,
+    MtrSelection,
+    estimate_mtr_criticality,
+    select_mtr_critical_links,
+)
+from repro.mtr.evaluation import (
+    MtrEvaluation,
+    MtrEvaluator,
+    MtrFailureEvaluation,
+)
+from repro.mtr.optimizer import MtrConstraints, MtrOptimizer, MtrResult
+from repro.mtr.weights import MtrWeightSetting
+
+__all__ = [
+    "CostModel",
+    "CostVector",
+    "MtrClass",
+    "MtrConstraints",
+    "MtrCriticality",
+    "MtrEvaluation",
+    "MtrEvaluator",
+    "MtrFailureEvaluation",
+    "MtrInstance",
+    "MtrOptimizer",
+    "MtrResult",
+    "MtrSampleStore",
+    "MtrSelection",
+    "MtrWeightSetting",
+    "components_equal",
+    "dtr_instance",
+    "estimate_mtr_criticality",
+    "select_mtr_critical_links",
+]

@@ -1,0 +1,144 @@
+"""Traffic-class abstraction for general Multi-Topology Routing.
+
+The paper studies DTR — two routings, one delay-sensitive (SLA cost) and
+one throughput-sensitive (Fortz–Thorup cost) — as "the most basic
+setting" of MTR (Section I).  This subpackage generalizes the machinery
+to ``k`` classes: each :class:`MtrClass` owns a traffic matrix, a cost
+model, and a priority; the global cost is the priority-ordered
+lexicographic vector of per-class costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.config import SlaParams
+from repro.core.fortz import fortz_cost
+from repro.core.sla import sla_outcome
+from repro.traffic.matrix import TrafficMatrix
+
+
+class CostModel(Enum):
+    """How a class's cost is computed from the routed network state."""
+
+    SLA = "sla"  # Eq. (2): per-pair delay-bound penalties
+    LOAD = "load"  # Fortz-Thorup congestion cost on total loads
+
+
+@dataclass(frozen=True)
+class MtrClass:
+    """One MTR traffic class.
+
+    Attributes:
+        name: class label (unique within an instance).
+        matrix: the class's demand matrix.
+        cost_model: SLA (delay-bound) or LOAD (congestion) cost.
+        priority: lexicographic rank; lower numbers dominate (the paper's
+            DTR gives the delay class priority 0 and throughput 1).
+        sla: SLA parameters (required for ``CostModel.SLA``).
+    """
+
+    name: str
+    matrix: TrafficMatrix
+    cost_model: CostModel
+    priority: int
+    sla: SlaParams | None = None
+
+    def __post_init__(self) -> None:
+        if self.cost_model is CostModel.SLA and self.sla is None:
+            raise ValueError(f"class {self.name!r}: SLA cost needs SlaParams")
+        if self.priority < 0:
+            raise ValueError("priority must be non-negative")
+
+    def cost(
+        self,
+        pair_delays: np.ndarray | None,
+        total_loads: np.ndarray,
+        capacity: np.ndarray,
+        own_loads: np.ndarray,
+    ) -> float:
+        """The class's scalar cost given the routed state.
+
+        Args:
+            pair_delays: ``(N, N)`` end-to-end delays of this class's
+                routing (required for SLA classes).
+            total_loads: per-arc loads across *all* classes.
+            capacity: per-arc capacities.
+            own_loads: per-arc loads of this class only.
+        """
+        if self.cost_model is CostModel.SLA:
+            if pair_delays is None:
+                raise ValueError("SLA cost requires pair delays")
+            assert self.sla is not None
+            return sla_outcome(pair_delays, self.matrix.values, self.sla).cost
+        return fortz_cost(total_loads, capacity, include=own_loads > 0.0)
+
+
+@dataclass(frozen=True)
+class MtrInstance:
+    """A set of MTR classes sharing one network.
+
+    Attributes:
+        classes: the traffic classes, stored in priority order.
+    """
+
+    classes: tuple[MtrClass, ...]
+
+    def __post_init__(self) -> None:
+        if not self.classes:
+            raise ValueError("an MTR instance needs at least one class")
+        names = [c.name for c in self.classes]
+        if len(set(names)) != len(names):
+            raise ValueError("class names must be unique")
+        dims = {c.matrix.num_nodes for c in self.classes}
+        if len(dims) != 1:
+            raise ValueError("all class matrices must share dimensions")
+        ordered = tuple(
+            sorted(self.classes, key=lambda c: (c.priority, c.name))
+        )
+        object.__setattr__(self, "classes", ordered)
+
+    @property
+    def num_classes(self) -> int:
+        """Number of traffic classes ``k``."""
+        return len(self.classes)
+
+    @property
+    def num_nodes(self) -> int:
+        """Demand-matrix dimension."""
+        return self.classes[0].matrix.num_nodes
+
+    def class_named(self, name: str) -> MtrClass:
+        """Look up a class by name."""
+        for cls in self.classes:
+            if cls.name == name:
+                return cls
+        raise KeyError(f"no class named {name!r}")
+
+
+def dtr_instance(
+    delay_matrix: TrafficMatrix,
+    tput_matrix: TrafficMatrix,
+    sla: SlaParams,
+) -> MtrInstance:
+    """The paper's DTR as a 2-class MTR instance."""
+    return MtrInstance(
+        classes=(
+            MtrClass(
+                name="delay",
+                matrix=delay_matrix,
+                cost_model=CostModel.SLA,
+                priority=0,
+                sla=sla,
+            ),
+            MtrClass(
+                name="throughput",
+                matrix=tput_matrix,
+                cost_model=CostModel.LOAD,
+                priority=1,
+            ),
+        )
+    )

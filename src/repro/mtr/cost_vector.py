@@ -1,0 +1,117 @@
+"""Lexicographic cost vectors for k-class MTR.
+
+Generalizes :class:`repro.core.lexicographic.CostPair` from two to ``k``
+components: the vector is compared component-by-component in priority
+order, each with the same tolerances as the DTR pair.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Absolute tolerance for components (matches the DTR Lambda tolerance).
+COMPONENT_ABS_TOLERANCE = 1e-6
+
+#: Relative tolerance for components (matches the DTR Phi tolerance).
+COMPONENT_REL_TOLERANCE = 1e-9
+
+
+def components_equal(a: float, b: float) -> bool:
+    """Tolerant equality for one cost component."""
+    if abs(a - b) <= COMPONENT_ABS_TOLERANCE:
+        return True
+    scale = max(abs(a), abs(b), 1.0)
+    return abs(a - b) <= COMPONENT_REL_TOLERANCE * scale
+
+
+@dataclass(frozen=True)
+class CostVector:
+    """A priority-ordered tuple of per-class costs.
+
+    Attributes:
+        values: per-class costs, highest priority first.
+    """
+
+    values: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError("cost vector needs at least one component")
+        if any(math.isnan(v) for v in self.values):
+            raise ValueError("cost components must not be NaN")
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    # ------------------------------------------------------------------
+    def __lt__(self, other: "CostVector") -> bool:
+        self._check(other)
+        for a, b in zip(self.values, other.values):
+            if not components_equal(a, b):
+                return a < b
+        return False
+
+    def __le__(self, other: "CostVector") -> bool:
+        return not other < self
+
+    def __gt__(self, other: "CostVector") -> bool:
+        return other < self
+
+    def __ge__(self, other: "CostVector") -> bool:
+        return not self < other
+
+    def is_better_than(self, other: "CostVector") -> bool:
+        """Strictly lower in the lexicographic order."""
+        return self < other
+
+    def equals(self, other: "CostVector") -> bool:
+        """All components equal within tolerance."""
+        self._check(other)
+        return all(
+            components_equal(a, b)
+            for a, b in zip(self.values, other.values)
+        )
+
+    def _check(self, other: "CostVector") -> None:
+        if len(self) != len(other):
+            raise ValueError("cost vectors have different lengths")
+
+    # ------------------------------------------------------------------
+    def __add__(self, other: "CostVector") -> "CostVector":
+        self._check(other)
+        return CostVector(
+            tuple(a + b for a, b in zip(self.values, other.values))
+        )
+
+    @classmethod
+    def zero(cls, k: int) -> "CostVector":
+        """The additive identity with ``k`` components."""
+        return cls((0.0,) * k)
+
+    @classmethod
+    def total(cls, vectors: list["CostVector"]) -> "CostVector":
+        """Component-wise sum (empty list is invalid: unknown arity)."""
+        if not vectors:
+            raise ValueError("cannot total an empty list of cost vectors")
+        result = vectors[0]
+        for vector in vectors[1:]:
+            result = result + vector
+        return result
+
+    def relative_improvement_over(self, previous: "CostVector") -> float:
+        """Relative reduction on the dominant changed component.
+
+        Mirrors :func:`repro.core.lexicographic.relative_improvement`.
+        """
+        if not self.is_better_than(previous):
+            return 0.0
+        for before, after in zip(previous.values, self.values):
+            if not components_equal(before, after):
+                base = max(abs(before), COMPONENT_ABS_TOLERANCE)
+                return (before - after) / base
+        return 0.0
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{v:.6g}" for v in self.values)
+        return f"CostVector({inner})"

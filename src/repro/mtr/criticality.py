@@ -1,0 +1,197 @@
+"""k-class criticality estimation and critical-link selection.
+
+Generalizes Eqs. (8)-(9) and Algorithm 1: each class contributes one
+failure-cost sample stream per arc, one normalized criticality list, and
+the selection loop shrinks, at each step, the list whose truncation
+would leave the *smallest* residual error — exactly the paper's
+two-list rule applied over ``k`` lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import SamplingParams
+from repro.core.criticality import descending_ranking
+from repro.core.sampling import left_tail_mean
+from repro.core.selection import tail_error
+from repro.mtr.cost_vector import CostVector
+
+
+class MtrSampleStore:
+    """Per-arc, per-class failure-cost samples.
+
+    Args:
+        num_classes: number of traffic classes.
+        num_arcs: number of arcs tracked.
+    """
+
+    def __init__(self, num_classes: int, num_arcs: int) -> None:
+        if num_classes < 1 or num_arcs < 1:
+            raise ValueError("need at least one class and one arc")
+        self._samples: list[list[list[float]]] = [
+            [[] for _ in range(num_arcs)] for _ in range(num_classes)
+        ]
+        self._num_arcs = num_arcs
+        self._total = 0
+
+    @property
+    def num_classes(self) -> int:
+        """Number of classes tracked."""
+        return len(self._samples)
+
+    @property
+    def num_arcs(self) -> int:
+        """Number of arcs tracked."""
+        return self._num_arcs
+
+    @property
+    def total_samples(self) -> int:
+        """Total recorded sample vectors."""
+        return self._total
+
+    def add(self, arc: int, cost: CostVector) -> None:
+        """Record one cost vector as a sample for ``arc``."""
+        if len(cost) != self.num_classes:
+            raise ValueError("cost vector arity mismatch")
+        for class_index, value in enumerate(cost.values):
+            self._samples[class_index][arc].append(float(value))
+        self._total += 1
+
+    def samples(self, class_index: int, arc: int) -> np.ndarray:
+        """The samples of one (class, arc)."""
+        return np.asarray(
+            self._samples[class_index][arc], dtype=np.float64
+        )
+
+    def counts(self) -> np.ndarray:
+        """Per-arc sample counts (identical across classes)."""
+        return np.asarray(
+            [len(s) for s in self._samples[0]], dtype=np.int64
+        )
+
+    def least_sampled_arcs(self, k: int = 1) -> list[int]:
+        """The ``k`` arcs with the fewest samples."""
+        counts = self.counts()
+        order = np.lexsort((np.arange(len(counts)), counts))
+        return [int(a) for a in order[:k]]
+
+
+@dataclass(frozen=True)
+class MtrCriticality:
+    """Per-class criticality estimates.
+
+    Attributes:
+        rho: ``(k, num_arcs)`` raw criticalities (Eq. 8/9 per class).
+        tails: ``(k, num_arcs)`` left-tail means.
+    """
+
+    rho: np.ndarray
+    tails: np.ndarray
+
+    @property
+    def num_classes(self) -> int:
+        """Number of classes."""
+        return self.rho.shape[0]
+
+    @property
+    def num_arcs(self) -> int:
+        """Number of arcs."""
+        return self.rho.shape[1]
+
+    def normalized(self, class_index: int) -> np.ndarray:
+        """Normalized criticality of one class (zero-safe)."""
+        denominator = float(self.tails[class_index].sum())
+        if denominator <= 0.0:
+            return np.zeros(self.num_arcs)
+        return self.rho[class_index] / denominator
+
+
+def estimate_mtr_criticality(
+    store: MtrSampleStore, params: SamplingParams
+) -> MtrCriticality:
+    """Eqs. (8)-(9) per class from the collected samples."""
+    k, m = store.num_classes, store.num_arcs
+    rho = np.zeros((k, m))
+    tails = np.zeros((k, m))
+    for class_index in range(k):
+        for arc in range(m):
+            samples = store.samples(class_index, arc)
+            if samples.size == 0:
+                continue
+            tail = left_tail_mean(samples, params.left_tail_fraction)
+            tails[class_index, arc] = tail
+            rho[class_index, arc] = float(samples.mean()) - tail
+    return MtrCriticality(rho=rho, tails=tails)
+
+
+@dataclass(frozen=True)
+class MtrSelection:
+    """Outcome of the k-list Algorithm 1.
+
+    Attributes:
+        critical_arcs: selected arc ids, ascending.
+        kept: per-class head sizes (n_1 .. n_k).
+    """
+
+    critical_arcs: tuple[int, ...]
+    kept: tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.critical_arcs)
+
+
+def select_mtr_critical_links(
+    criticality: MtrCriticality, target_size: int
+) -> MtrSelection:
+    """Algorithm 1 over ``k`` criticality lists.
+
+    At each step the class list whose one-element shrink leaves the
+    smallest residual normalized error loses its last element, until the
+    union of list heads fits the target.
+    """
+    k = criticality.num_classes
+    m = criticality.num_arcs
+    if not 1 <= target_size <= m:
+        raise ValueError("target_size must lie in [1, num_arcs]")
+
+    orders = []
+    errors = []
+    for class_index in range(k):
+        normalized = criticality.normalized(class_index)
+        order = descending_ranking(normalized)
+        orders.append(order)
+        errors.append(tail_error(normalized[order]))
+    heads = [m] * k
+
+    def union_size() -> int:
+        selected: set[int] = set()
+        for class_index in range(k):
+            selected.update(
+                orders[class_index][: heads[class_index]].tolist()
+            )
+        return len(selected)
+
+    while union_size() > target_size and any(h > 0 for h in heads):
+        best_class = None
+        best_error = None
+        for class_index in range(k):
+            h = heads[class_index]
+            if h == 0:
+                continue
+            shrink_error = errors[class_index][h - 1]
+            if best_error is None or shrink_error < best_error:
+                best_error = shrink_error
+                best_class = class_index
+        assert best_class is not None
+        heads[best_class] -= 1
+
+    selected: set[int] = set()
+    for class_index in range(k):
+        selected.update(orders[class_index][: heads[class_index]].tolist())
+    return MtrSelection(
+        critical_arcs=tuple(sorted(int(a) for a in selected)),
+        kept=tuple(heads),
+    )

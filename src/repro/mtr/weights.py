@@ -1,0 +1,124 @@
+"""Weight settings for k-topology MTR.
+
+One integer weight per (class, arc): a ``(k, num_arcs)`` array.  The DTR
+:class:`repro.core.weights.WeightSetting` is the ``k = 2`` special case.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import WeightParams
+
+
+class MtrWeightSetting:
+    """Weight arrays of all classes.
+
+    Attributes:
+        weights: ``(num_classes, num_arcs)`` int64 array; row order
+            matches the instance's priority-ordered classes.
+    """
+
+    __slots__ = ("weights",)
+
+    def __init__(self, weights: np.ndarray) -> None:
+        weights = np.asarray(weights, dtype=np.int64)
+        if weights.ndim != 2:
+            raise ValueError("weights must be a (classes, arcs) array")
+        if np.any(weights < 1):
+            raise ValueError("weights must be >= 1")
+        self.weights = weights
+
+    # ------------------------------------------------------------------
+    @property
+    def num_classes(self) -> int:
+        """Number of traffic classes."""
+        return self.weights.shape[0]
+
+    @property
+    def num_arcs(self) -> int:
+        """Number of arcs."""
+        return self.weights.shape[1]
+
+    @classmethod
+    def random(
+        cls,
+        num_classes: int,
+        num_arcs: int,
+        params: WeightParams,
+        rng: np.random.Generator,
+    ) -> "MtrWeightSetting":
+        """Uniform random weights for every class."""
+        return cls(
+            rng.integers(
+                params.w_min,
+                params.w_max + 1,
+                size=(num_classes, num_arcs),
+            )
+        )
+
+    @classmethod
+    def uniform(
+        cls, num_classes: int, num_arcs: int, value: int = 1
+    ) -> "MtrWeightSetting":
+        """All-equal weights (hop-count routing for every class)."""
+        return cls(np.full((num_classes, num_arcs), value, dtype=np.int64))
+
+    def copy(self) -> "MtrWeightSetting":
+        """An independent copy."""
+        return MtrWeightSetting(self.weights.copy())
+
+    # ------------------------------------------------------------------
+    def class_weights(self, class_index: int) -> np.ndarray:
+        """The weight row of one class."""
+        return self.weights[class_index]
+
+    def arc_column(self, arc: int) -> np.ndarray:
+        """All class weights of one arc."""
+        return self.weights[:, arc].copy()
+
+    def set_arc(self, arc: int, values: np.ndarray) -> None:
+        """Assign all class weights of one arc (in place)."""
+        values = np.asarray(values, dtype=np.int64)
+        if values.shape != (self.num_classes,):
+            raise ValueError("one value per class required")
+        if np.any(values < 1):
+            raise ValueError("weights must be >= 1")
+        self.weights[:, arc] = values
+
+    def emulates_failure(self, arc: int, params: WeightParams) -> bool:
+        """Whether *every* class weight of the arc is failure-like.
+
+        The DTR sampling rule ("both perturbed link weights in
+        ``[q w_max, w_max]``") generalizes to all classes: only then does
+        the perturbation divert every class off the arc.
+        """
+        floor = params.failure_emulation_floor
+        column = self.weights[:, arc]
+        return bool(
+            np.all(column >= floor) and np.all(column <= params.w_max)
+        )
+
+    def fail_arc(
+        self, arc: int, params: WeightParams, rng: np.random.Generator
+    ) -> None:
+        """Push all class weights of an arc into the failure band."""
+        floor = params.failure_emulation_floor
+        self.weights[:, arc] = rng.integers(
+            floor, params.w_max + 1, size=self.num_classes
+        )
+
+    def key(self) -> bytes:
+        """Hashable snapshot for deduplication."""
+        return self.weights.tobytes()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MtrWeightSetting):
+            return NotImplemented
+        return bool(np.array_equal(self.weights, other.weights))
+
+    def __repr__(self) -> str:
+        return (
+            f"MtrWeightSetting(classes={self.num_classes}, "
+            f"arcs={self.num_arcs})"
+        )

@@ -1,0 +1,34 @@
+"""Routing substrate: directed network model, SPF/ECMP engine, failures."""
+
+from repro.routing.arcs import Arc
+from repro.routing.engine import ClassRouting, RoutingEngine
+from repro.routing.failures import (
+    NORMAL,
+    FailureModel,
+    FailureScenario,
+    FailureSet,
+    dual_link_failures,
+    single_arc_failures,
+    single_failures,
+    single_link_failures,
+    single_node_failures,
+)
+from repro.routing.network import Network
+from repro.routing.state import NetworkState
+
+__all__ = [
+    "Arc",
+    "ClassRouting",
+    "FailureModel",
+    "FailureScenario",
+    "FailureSet",
+    "NORMAL",
+    "Network",
+    "NetworkState",
+    "RoutingEngine",
+    "dual_link_failures",
+    "single_arc_failures",
+    "single_failures",
+    "single_link_failures",
+    "single_node_failures",
+]

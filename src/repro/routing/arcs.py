@@ -1,0 +1,140 @@
+"""Arc primitives for the directed network model.
+
+The paper models the network as a directed graph ``G = (V, E)`` whose links
+(*arcs* here, to avoid ambiguity with undirected fibers) each carry a
+capacity ``C_l`` and a propagation delay ``p_l``.  Physical fibers appear
+as a pair of opposite arcs; :func:`pair_arcs` recovers that pairing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Arc:
+    """One directed link.
+
+    Attributes:
+        src: source node id.
+        dst: destination node id.
+        capacity: capacity ``C_l`` in bits per second.
+        prop_delay: propagation delay ``p_l`` in seconds.
+    """
+
+    src: int
+    dst: int
+    capacity: float
+    prop_delay: float
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError(f"self-loop arc at node {self.src}")
+        if self.capacity <= 0:
+            raise ValueError("arc capacity must be positive")
+        if self.prop_delay < 0:
+            raise ValueError("arc propagation delay must be non-negative")
+
+    @property
+    def endpoints(self) -> tuple[int, int]:
+        """The ``(src, dst)`` pair identifying this arc."""
+        return (self.src, self.dst)
+
+    def reversed(self) -> "Arc":
+        """The opposite-direction arc with identical capacity and delay."""
+        return Arc(self.dst, self.src, self.capacity, self.prop_delay)
+
+
+def arcs_to_arrays(
+    arcs: Sequence[Arc],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Convert a list of arcs to (src, dst, capacity, prop_delay) arrays."""
+    if not arcs:
+        raise ValueError("network needs at least one arc")
+    src = np.fromiter((a.src for a in arcs), dtype=np.int64, count=len(arcs))
+    dst = np.fromiter((a.dst for a in arcs), dtype=np.int64, count=len(arcs))
+    cap = np.fromiter((a.capacity for a in arcs), dtype=np.float64, count=len(arcs))
+    delay = np.fromiter(
+        (a.prop_delay for a in arcs), dtype=np.float64, count=len(arcs)
+    )
+    return src, dst, cap, delay
+
+
+def pair_arcs(arcs: Sequence[Arc]) -> np.ndarray:
+    """Map each arc index to the index of its reverse arc, or -1 if absent.
+
+    Args:
+        arcs: arc list; at most one arc per ordered ``(src, dst)`` pair.
+
+    Returns:
+        int64 array ``rev`` with ``arcs[rev[i]].endpoints ==
+        (arcs[i].dst, arcs[i].src)`` wherever ``rev[i] >= 0``.
+    """
+    index = {arc.endpoints: i for i, arc in enumerate(arcs)}
+    if len(index) != len(arcs):
+        raise ValueError("parallel arcs between the same node pair")
+    rev = np.full(len(arcs), -1, dtype=np.int64)
+    for i, arc in enumerate(arcs):
+        rev[i] = index.get((arc.dst, arc.src), -1)
+    return rev
+
+
+def undirected_pairs(arcs: Sequence[Arc]) -> list[tuple[int, ...]]:
+    """Group arc indices into physical links.
+
+    Each bidirectional fiber yields one ``(forward, backward)`` tuple
+    (ordered so the lower arc index comes first); a one-way arc yields a
+    singleton tuple.  The groups are disjoint and cover every arc, and are
+    returned sorted by their first arc index so enumeration order is
+    deterministic.
+    """
+    rev = pair_arcs(arcs)
+    seen: set[int] = set()
+    groups: list[tuple[int, ...]] = []
+    for i in range(len(arcs)):
+        if i in seen:
+            continue
+        j = int(rev[i])
+        if j >= 0 and j not in seen:
+            groups.append((i, j))
+            seen.update((i, j))
+        else:
+            groups.append((i,))
+            seen.add(i)
+    return groups
+
+
+def build_adjacency(
+    num_nodes: int, src: np.ndarray, dst: np.ndarray
+) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    """Build per-node outgoing / incoming arc-id lists.
+
+    Returns:
+        ``(out_arcs, in_arcs)`` where ``out_arcs[u]`` is the int64 array of
+        arc indices leaving ``u`` and ``in_arcs[v]`` those entering ``v``.
+    """
+    out_lists: list[list[int]] = [[] for _ in range(num_nodes)]
+    in_lists: list[list[int]] = [[] for _ in range(num_nodes)]
+    for arc_id, (u, v) in enumerate(zip(src.tolist(), dst.tolist())):
+        out_lists[u].append(arc_id)
+        in_lists[v].append(arc_id)
+    out_arcs = [np.asarray(ids, dtype=np.int64) for ids in out_lists]
+    in_arcs = [np.asarray(ids, dtype=np.int64) for ids in in_lists]
+    return out_arcs, in_arcs
+
+
+def validate_arcs(num_nodes: int, arcs: Iterable[Arc]) -> None:
+    """Raise ``ValueError`` on out-of-range endpoints or duplicate arcs."""
+    seen: set[tuple[int, int]] = set()
+    for arc in arcs:
+        for node in arc.endpoints:
+            if not 0 <= node < num_nodes:
+                raise ValueError(
+                    f"arc endpoint {node} outside [0, {num_nodes})"
+                )
+        if arc.endpoints in seen:
+            raise ValueError(f"duplicate arc {arc.endpoints}")
+        seen.add(arc.endpoints)

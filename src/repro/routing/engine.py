@@ -1,0 +1,204 @@
+"""The routing engine: one-call evaluation of a weighted topology.
+
+:class:`RoutingEngine` turns (weights, demands, failure scenario) into
+per-arc loads and per-pair path delays.  It is the substrate every other
+subsystem builds on: the cost model consumes its loads, the optimizer
+calls it once per candidate weight setting per scenario.
+
+Internally the engine computes distances with scipy's C Dijkstra, derives
+all shortest-path DAG masks in one vectorized operation, and runs the
+per-destination propagations through the pure-Python kernels of
+:mod:`repro.routing.fastpath` (the numpy reference implementations live in
+:mod:`repro.routing.loader` and are pinned equal by tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.routing.failures import NORMAL, FailureScenario, disabled_arc_mask
+from repro.routing.fastpath import (
+    PropagationPlan,
+    all_destination_masks,
+    fast_propagate_loads,
+    fast_propagate_mean_delay,
+    fast_propagate_worst_delay,
+)
+from repro.routing.loader import max_arc_value_on_paths
+from repro.routing.network import Network
+from repro.routing.spf import distance_matrix
+
+
+@dataclass(frozen=True)
+class ClassRouting:
+    """Shortest-path routing of one traffic class under one scenario.
+
+    Attributes:
+        network: the topology routed over.
+        scenario: the failure scenario in force.
+        dist: ``(N, N)`` distance matrix under the class weights.
+        destinations: destination ids that carry demand, ascending.
+        masks: ``(len(destinations), num_arcs)`` boolean DAG-membership
+            rows, aligned with ``destinations``.
+        loads: per-arc load contributed by this class.
+        demands: the ``(N, N)`` demand matrix actually routed (node
+            failures zero out rows/columns of removed nodes).
+        undelivered: demand volume lost to disconnection.
+    """
+
+    network: Network
+    scenario: FailureScenario
+    dist: np.ndarray
+    destinations: np.ndarray
+    masks: np.ndarray
+    loads: np.ndarray
+    demands: np.ndarray
+    undelivered: float
+
+    def mask_for(self, t: int) -> np.ndarray:
+        """The shortest-DAG arc mask towards destination ``t``."""
+        idx = int(np.searchsorted(self.destinations, t))
+        if idx >= len(self.destinations) or self.destinations[idx] != t:
+            raise KeyError(f"destination {t} carries no demand")
+        return self.masks[idx]
+
+
+class RoutingEngine:
+    """Computes ECMP routings, loads, and path delays for one network."""
+
+    def __init__(self, network: Network) -> None:
+        self._network = network
+        self._plan = PropagationPlan.for_network(network)
+
+    @property
+    def network(self) -> Network:
+        """The topology this engine routes over."""
+        return self._network
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def route_class(
+        self,
+        weights: np.ndarray,
+        demands: np.ndarray,
+        scenario: FailureScenario = NORMAL,
+    ) -> ClassRouting:
+        """Route one traffic class and return its loads and DAG structure.
+
+        Args:
+            weights: per-arc weights of this class, integer-valued >= 1.
+            demands: ``(N, N)`` demand matrix in bits/s; diagonal ignored.
+            scenario: failure scenario (dead arcs, removed nodes).
+        """
+        net = self._network
+        demands = np.asarray(demands, dtype=np.float64)
+        if demands.shape != (net.num_nodes, net.num_nodes):
+            raise ValueError("demand matrix shape must be (N, N)")
+        if scenario.removed_nodes:
+            demands = demands.copy()
+            removed = list(scenario.removed_nodes)
+            demands[removed, :] = 0.0
+            demands[:, removed] = 0.0
+
+        disabled = (
+            disabled_arc_mask(net, scenario)
+            if scenario.failed_arcs
+            else None
+        )
+        weights = np.asarray(weights, dtype=np.float64)
+        dist = distance_matrix(net, weights, disabled)
+        destinations = np.flatnonzero(demands.sum(axis=0) > 0.0)
+        masks = all_destination_masks(
+            net, weights, dist, disabled, destinations
+        )
+
+        loads = [0.0] * net.num_arcs
+        undelivered = 0.0
+        for row, t in enumerate(destinations):
+            undelivered += fast_propagate_loads(
+                self._plan,
+                masks[row],
+                dist[:, t],
+                demands[:, t],
+                int(t),
+                loads,
+            )
+        return ClassRouting(
+            network=net,
+            scenario=scenario,
+            dist=dist,
+            destinations=destinations,
+            masks=masks,
+            loads=np.asarray(loads, dtype=np.float64),
+            demands=demands,
+            undelivered=undelivered,
+        )
+
+    # ------------------------------------------------------------------
+    # path metrics over an existing routing
+    # ------------------------------------------------------------------
+    def path_delays(
+        self,
+        routing: ClassRouting,
+        arc_delays: np.ndarray,
+        mode: str = "worst",
+    ) -> np.ndarray:
+        """End-to-end path delay for every SD pair of a routed class.
+
+        Args:
+            routing: output of :meth:`route_class`.
+            arc_delays: per-arc delay ``D_l`` in seconds (Eq. 1), computed
+                from the *total* load across both classes.
+            mode: ``"worst"`` (max over used ECMP paths, the default SLA
+                evaluation) or ``"mean"`` (flow-weighted average).
+
+        Returns:
+            ``(N, N)`` matrix; entry ``(s, t)`` is the path delay for the
+            pair, ``inf`` if disconnected, ``nan`` for destinations that
+            carry no demand and for the diagonal.
+        """
+        if mode == "worst":
+            propagate = fast_propagate_worst_delay
+        elif mode == "mean":
+            propagate = fast_propagate_mean_delay
+        else:
+            raise ValueError(f"unknown delay mode {mode!r}")
+        net = self._network
+        delays_list = np.asarray(arc_delays, dtype=np.float64).tolist()
+        out = np.full((net.num_nodes, net.num_nodes), np.nan)
+        for row, t in enumerate(routing.destinations):
+            delays = propagate(
+                self._plan,
+                routing.masks[row],
+                routing.dist[:, t],
+                delays_list,
+                int(t),
+            )
+            out[:, t] = delays
+            out[t, t] = np.nan
+        return out
+
+    def path_max_utilization(
+        self, routing: ClassRouting, utilization: np.ndarray
+    ) -> np.ndarray:
+        """Max arc utilization seen by each SD pair along its used paths.
+
+        This is the per-pair "maximum link utilization" ingredient of
+        Table V / Fig. 5d.  Entries mirror :meth:`path_delays`.
+        """
+        net = self._network
+        out = np.full((net.num_nodes, net.num_nodes), np.nan)
+        for row, t in enumerate(routing.destinations):
+            worst = max_arc_value_on_paths(
+                net,
+                routing.masks[row],
+                routing.dist[:, t],
+                utilization,
+                int(t),
+            )
+            out[:, t] = worst
+            out[t, t] = np.nan
+        return out

@@ -1,0 +1,202 @@
+"""Failure scenarios: which arcs disappear and which traffic is removed.
+
+The paper optimizes against *all single link failures* (Section III) and
+additionally evaluates *single node failures* (Section V-F), where a node
+failure "triggers the failure of all its links as well as the removal of
+all the traffic it originates".  We also remove traffic destined to the
+failed node, since it is undeliverable (policy documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.routing.network import Network
+
+
+class FailureModel(Enum):
+    """Granularity at which link failures are enumerated.
+
+    ``LINK`` fails a physical fiber: both directed arcs of a bidirectional
+    pair.  ``ARC`` fails a single directed arc.  Experiment presets use
+    ``LINK``; the sampling machinery works with either.
+    """
+
+    LINK = "link"
+    ARC = "arc"
+
+
+@dataclass(frozen=True)
+class FailureScenario:
+    """One failure: a set of dead arcs plus nodes whose traffic vanishes.
+
+    Attributes:
+        failed_arcs: arc ids removed from the topology.
+        removed_nodes: nodes whose originated and destined traffic is
+            dropped (non-empty only for node failures).
+        label: stable identifier used in experiment output, e.g.
+            ``"link:4"`` or ``"node:7"``.
+    """
+
+    failed_arcs: tuple[int, ...]
+    removed_nodes: tuple[int, ...] = ()
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "failed_arcs", tuple(sorted(set(self.failed_arcs)))
+        )
+        object.__setattr__(
+            self, "removed_nodes", tuple(sorted(set(self.removed_nodes)))
+        )
+
+    @property
+    def is_normal(self) -> bool:
+        """True for the failure-free scenario."""
+        return not self.failed_arcs and not self.removed_nodes
+
+
+NORMAL = FailureScenario(failed_arcs=(), label="normal")
+"""The failure-free scenario."""
+
+
+@dataclass(frozen=True)
+class FailureSet:
+    """An ordered collection of failure scenarios to optimize against.
+
+    Attributes:
+        scenarios: the failure scenarios, in enumeration order.
+        model: the granularity the scenarios were generated with (for
+            reporting only; mixed sets use ``None``).
+    """
+
+    scenarios: tuple[FailureScenario, ...]
+    model: FailureModel | None = None
+
+    def __len__(self) -> int:
+        return len(self.scenarios)
+
+    def __iter__(self) -> Iterator[FailureScenario]:
+        return iter(self.scenarios)
+
+    def __getitem__(self, index: int) -> FailureScenario:
+        return self.scenarios[index]
+
+    def restricted_to_arcs(self, arc_ids: Sequence[int]) -> "FailureSet":
+        """Scenarios whose failed arcs intersect ``arc_ids``.
+
+        This is how a critical-link set ``Ec`` restricts the robust
+        objective (Eq. 7): only failures touching a critical arc are
+        evaluated.
+        """
+        wanted = set(int(a) for a in arc_ids)
+        kept = tuple(
+            s for s in self.scenarios if wanted.intersection(s.failed_arcs)
+        )
+        return FailureSet(kept, model=self.model)
+
+
+def single_arc_failures(network: Network) -> FailureSet:
+    """One scenario per directed arc (``FailureModel.ARC``)."""
+    scenarios = tuple(
+        FailureScenario(failed_arcs=(a,), label=f"arc:{a}")
+        for a in range(network.num_arcs)
+    )
+    return FailureSet(scenarios, model=FailureModel.ARC)
+
+
+def single_link_failures(network: Network) -> FailureSet:
+    """One scenario per physical link (``FailureModel.LINK``).
+
+    A bidirectional pair fails together; a one-way arc fails alone.
+    """
+    scenarios = tuple(
+        FailureScenario(failed_arcs=group, label=f"link:{group[0]}")
+        for group in network.link_groups
+    )
+    return FailureSet(scenarios, model=FailureModel.LINK)
+
+
+def single_failures(network: Network, model: FailureModel) -> FailureSet:
+    """Dispatch to :func:`single_arc_failures` / :func:`single_link_failures`."""
+    if model is FailureModel.ARC:
+        return single_arc_failures(network)
+    return single_link_failures(network)
+
+
+def single_node_failures(
+    network: Network, nodes: Sequence[int] | None = None
+) -> FailureSet:
+    """One scenario per node: all incident arcs die, its traffic is removed.
+
+    Args:
+        network: the topology.
+        nodes: nodes to fail (default: every node).
+    """
+    if nodes is None:
+        nodes = range(network.num_nodes)
+    scenarios = tuple(
+        FailureScenario(
+            failed_arcs=tuple(int(a) for a in network.arcs_of_node(v)),
+            removed_nodes=(v,),
+            label=f"node:{v}",
+        )
+        for v in nodes
+    )
+    return FailureSet(scenarios, model=None)
+
+
+def dual_link_failures(
+    network: Network,
+    max_scenarios: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> FailureSet:
+    """All (or a sample of) simultaneous two-link failures.
+
+    The paper mentions multiple link failures as an additional stressor in
+    Section V-F footnote 16; this generator supports that evaluation.
+
+    Args:
+        network: the topology.
+        max_scenarios: if given, uniformly sample this many pairs.
+        rng: generator used when sampling (required with ``max_scenarios``).
+    """
+    groups = network.link_groups
+    pairs = list(itertools.combinations(range(len(groups)), 2))
+    if max_scenarios is not None and len(pairs) > max_scenarios:
+        if rng is None:
+            raise ValueError("rng is required when sampling scenarios")
+        chosen = rng.choice(len(pairs), size=max_scenarios, replace=False)
+        pairs = [pairs[int(i)] for i in chosen]
+    scenarios = tuple(
+        FailureScenario(
+            failed_arcs=groups[i] + groups[j],
+            label=f"link2:{groups[i][0]}+{groups[j][0]}",
+        )
+        for i, j in pairs
+    )
+    return FailureSet(scenarios, model=None)
+
+
+def scenarios_touching_arcs(
+    network: Network, arc_ids: Sequence[int], model: FailureModel
+) -> FailureSet:
+    """Single-failure scenarios covering exactly the given arcs.
+
+    Used by Phase 2: given the critical set ``Ec`` this produces the
+    failure scenarios whose cost sum defines ``K̄_fail`` (Eq. 7).
+    """
+    return single_failures(network, model).restricted_to_arcs(arc_ids)
+
+
+def disabled_arc_mask(network: Network, scenario: FailureScenario) -> np.ndarray:
+    """Boolean per-arc mask, True where the arc is dead under ``scenario``."""
+    mask = np.zeros(network.num_arcs, dtype=bool)
+    if scenario.failed_arcs:
+        mask[list(scenario.failed_arcs)] = True
+    return mask

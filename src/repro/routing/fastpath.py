@@ -1,0 +1,182 @@
+"""Optimized propagation kernels used by the routing engine.
+
+The reference implementations in :mod:`repro.routing.loader` operate on
+numpy arrays per node; for backbone-sized graphs (tens of nodes, a few
+hundred arcs) the numpy call overhead dominates, so the engine uses these
+pure-Python equivalents over plain lists instead (3-6x faster at this
+scale).  ``tests/routing/test_fastpath.py`` pins them to the reference
+implementations property-style.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.routing.network import Network
+
+
+@dataclass(frozen=True)
+class PropagationPlan:
+    """Static per-network structures reused across propagations.
+
+    Attributes:
+        out_arcs: per-node outgoing arc ids as plain Python lists.
+        arc_dst: per-arc destination node ids as a plain list.
+    """
+
+    out_arcs: tuple[tuple[int, ...], ...]
+    arc_dst: tuple[int, ...]
+
+    @classmethod
+    def for_network(cls, network: Network) -> "PropagationPlan":
+        return cls(
+            out_arcs=tuple(
+                tuple(int(a) for a in arcs) for arcs in network.out_arcs
+            ),
+            arc_dst=tuple(int(v) for v in network.arc_dst),
+        )
+
+
+def all_destination_masks(
+    network: Network,
+    weights: np.ndarray,
+    dist: np.ndarray,
+    disabled: np.ndarray | None,
+    destinations: np.ndarray,
+    tolerance: float = 1e-9,
+) -> np.ndarray:
+    """Shortest-DAG membership for every destination in one vectorized op.
+
+    Args:
+        network: the topology.
+        weights: per-arc weights (float).
+        dist: ``(N, N)`` distance matrix.
+        disabled: optional per-arc dead mask.
+        destinations: destination node ids (columns of ``dist`` to use).
+
+    Returns:
+        Boolean ``(len(destinations), num_arcs)`` array; row ``i`` is the
+        DAG mask towards ``destinations[i]``.
+    """
+    du = dist[network.arc_src][:, destinations]  # (num_arcs, D)
+    dv = dist[network.arc_dst][:, destinations]
+    with np.errstate(invalid="ignore"):
+        mask = np.abs(du - (weights[:, None] + dv)) <= tolerance
+    mask &= np.isfinite(du) & np.isfinite(dv)
+    if disabled is not None:
+        mask &= ~disabled[:, None]
+    return mask.T.copy()
+
+
+def fast_propagate_loads(
+    plan: PropagationPlan,
+    mask_row: np.ndarray,
+    dist_to_t: np.ndarray,
+    demand_to_t: np.ndarray,
+    t: int,
+    loads: list[float],
+) -> float:
+    """Pure-Python counterpart of :func:`repro.routing.loader.propagate_loads`.
+
+    ``loads`` is a plain list accumulated in place across destinations.
+    Returns the undeliverable volume.
+    """
+    finite = np.isfinite(dist_to_t)
+    order = np.flatnonzero(finite)[
+        np.argsort(-dist_to_t[finite], kind="stable")
+    ].tolist()
+    mask = mask_row.tolist()
+    demand = demand_to_t.tolist()
+    flow = [0.0] * len(demand)
+    undelivered = 0.0
+    for v, d in enumerate(demand):
+        if d > 0.0:
+            if finite[v] and v != t:
+                flow[v] = d
+            elif not finite[v]:
+                undelivered += d
+    out_arcs = plan.out_arcs
+    arc_dst = plan.arc_dst
+    for u in order:
+        volume = flow[u]
+        if volume <= 0.0 or u == t:
+            continue
+        live = [a for a in out_arcs[u] if mask[a]]
+        if not live:
+            undelivered += volume
+            continue
+        share = volume / len(live)
+        for a in live:
+            loads[a] += share
+            flow[arc_dst[a]] += share
+    return undelivered
+
+
+def fast_propagate_worst_delay(
+    plan: PropagationPlan,
+    mask_row: np.ndarray,
+    dist_to_t: np.ndarray,
+    arc_delays: list[float],
+    t: int,
+) -> list[float]:
+    """Pure-Python counterpart of ``propagate_worst_delay``.
+
+    Returns the per-node worst used-path delay to ``t`` (``inf`` when
+    disconnected) as a list.
+    """
+    finite = np.isfinite(dist_to_t)
+    order = np.flatnonzero(finite)[
+        np.argsort(dist_to_t[finite], kind="stable")
+    ].tolist()
+    mask = mask_row.tolist()
+    n = len(dist_to_t)
+    delay = [float("inf")] * n
+    delay[t] = 0.0
+    out_arcs = plan.out_arcs
+    arc_dst = plan.arc_dst
+    for u in order:
+        if u == t:
+            continue
+        best = None
+        for a in out_arcs[u]:
+            if mask[a]:
+                candidate = arc_delays[a] + delay[arc_dst[a]]
+                if best is None or candidate > best:
+                    best = candidate
+        if best is not None:
+            delay[u] = best
+    return delay
+
+
+def fast_propagate_mean_delay(
+    plan: PropagationPlan,
+    mask_row: np.ndarray,
+    dist_to_t: np.ndarray,
+    arc_delays: list[float],
+    t: int,
+) -> list[float]:
+    """Pure-Python counterpart of ``propagate_mean_delay``."""
+    finite = np.isfinite(dist_to_t)
+    order = np.flatnonzero(finite)[
+        np.argsort(dist_to_t[finite], kind="stable")
+    ].tolist()
+    mask = mask_row.tolist()
+    n = len(dist_to_t)
+    delay = [float("inf")] * n
+    delay[t] = 0.0
+    out_arcs = plan.out_arcs
+    arc_dst = plan.arc_dst
+    for u in order:
+        if u == t:
+            continue
+        total = 0.0
+        count = 0
+        for a in out_arcs[u]:
+            if mask[a]:
+                total += arc_delays[a] + delay[arc_dst[a]]
+                count += 1
+        if count:
+            delay[u] = total / count
+    return delay

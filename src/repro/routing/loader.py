@@ -1,0 +1,156 @@
+"""ECMP traffic loading and path-delay propagation.
+
+Destination-based even splitting, as in OSPF and the Fortz–Thorup model:
+at every node, flow towards a destination is divided equally among the
+node's outgoing arcs that lie on the shortest-path DAG.
+
+Both routines are per-destination linear passes over nodes ordered by
+distance to the destination, so one full load (or delay) computation costs
+``O(|V| log |V| + |E|)`` per destination on top of the Dijkstra run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.routing.network import Network
+
+
+def propagate_loads(
+    network: Network,
+    mask: np.ndarray,
+    dist_to_t: np.ndarray,
+    demand_to_t: np.ndarray,
+    t: int,
+    loads: np.ndarray,
+) -> float:
+    """Push demand towards destination ``t`` through the ECMP DAG.
+
+    Args:
+        network: the topology.
+        mask: boolean per-arc shortest-DAG membership for destination ``t``.
+        dist_to_t: per-node distance to ``t``.
+        demand_to_t: per-node demand volume destined to ``t``.
+        t: the destination node.
+        loads: per-arc load accumulator, updated in place.
+
+    Returns:
+        The volume of demand that could not be delivered because its
+        source is disconnected from ``t``.
+    """
+    finite = np.isfinite(dist_to_t)
+    flow = np.where(finite, demand_to_t, 0.0).astype(np.float64, copy=True)
+    flow[t] = 0.0
+    undelivered = float(demand_to_t[~finite].sum())
+
+    order = np.argsort(-dist_to_t[finite], kind="stable")
+    nodes = np.flatnonzero(finite)[order]
+    arc_dst = network.arc_dst
+    for u in nodes:
+        volume = flow[u]
+        if volume <= 0.0 or u == t:
+            continue
+        out = network.out_arcs[u]
+        live = out[mask[out]]
+        if live.size == 0:
+            # Finite distance guarantees an outgoing shortest arc; this
+            # branch is unreachable unless the mask is inconsistent.
+            undelivered += volume
+            continue
+        share = volume / live.size
+        loads[live] += share
+        np.add.at(flow, arc_dst[live], share)
+    return undelivered
+
+
+def propagate_worst_delay(
+    network: Network,
+    mask: np.ndarray,
+    dist_to_t: np.ndarray,
+    arc_delays: np.ndarray,
+    t: int,
+) -> np.ndarray:
+    """Worst-case ECMP path delay from every node to ``t``.
+
+    ``delay[u] = max over shortest arcs (u, v) of arc_delays[a] + delay[v]``,
+    evaluated in increasing distance order.  Disconnected nodes get ``inf``.
+    """
+    n = network.num_nodes
+    delay = np.full(n, np.inf, dtype=np.float64)
+    delay[t] = 0.0
+    finite = np.isfinite(dist_to_t)
+    order = np.argsort(dist_to_t[finite], kind="stable")
+    nodes = np.flatnonzero(finite)[order]
+    arc_dst = network.arc_dst
+    for u in nodes:
+        if u == t:
+            continue
+        out = network.out_arcs[u]
+        live = out[mask[out]]
+        if live.size == 0:
+            continue
+        delay[u] = float(np.max(arc_delays[live] + delay[arc_dst[live]]))
+    return delay
+
+
+def propagate_mean_delay(
+    network: Network,
+    mask: np.ndarray,
+    dist_to_t: np.ndarray,
+    arc_delays: np.ndarray,
+    t: int,
+) -> np.ndarray:
+    """Flow-weighted mean ECMP path delay from every node to ``t``.
+
+    With even per-node splitting, the expected delay satisfies
+    ``delay[u] = mean over shortest arcs (u, v) of arc_delays[a] + delay[v]``.
+    """
+    n = network.num_nodes
+    delay = np.full(n, np.inf, dtype=np.float64)
+    delay[t] = 0.0
+    finite = np.isfinite(dist_to_t)
+    order = np.argsort(dist_to_t[finite], kind="stable")
+    nodes = np.flatnonzero(finite)[order]
+    arc_dst = network.arc_dst
+    for u in nodes:
+        if u == t:
+            continue
+        out = network.out_arcs[u]
+        live = out[mask[out]]
+        if live.size == 0:
+            continue
+        delay[u] = float(np.mean(arc_delays[live] + delay[arc_dst[live]]))
+    return delay
+
+
+def max_arc_value_on_paths(
+    network: Network,
+    mask: np.ndarray,
+    dist_to_t: np.ndarray,
+    arc_values: np.ndarray,
+    t: int,
+) -> np.ndarray:
+    """Maximum per-arc value seen along any used path from each node to ``t``.
+
+    Used for the paper's "average maximum link utilization experienced by
+    each SD pair on its path" metric (Table V and Fig. 5d): call with
+    ``arc_values`` = per-arc utilization.
+    """
+    n = network.num_nodes
+    worst = np.full(n, np.inf, dtype=np.float64)
+    worst[t] = -np.inf
+    finite = np.isfinite(dist_to_t)
+    order = np.argsort(dist_to_t[finite], kind="stable")
+    nodes = np.flatnonzero(finite)[order]
+    arc_dst = network.arc_dst
+    for u in nodes:
+        if u == t:
+            continue
+        out = network.out_arcs[u]
+        live = out[mask[out]]
+        if live.size == 0:
+            continue
+        worst[u] = float(
+            np.max(np.maximum(arc_values[live], worst[arc_dst[live]]))
+        )
+    return worst

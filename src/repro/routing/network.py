@@ -1,0 +1,259 @@
+"""The directed network model used by every subsystem.
+
+A :class:`Network` is an immutable directed graph with per-arc capacity and
+propagation delay, stored both as :class:`~repro.routing.arcs.Arc` records
+(for readability) and as numpy arrays (for the routing hot path).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.routing.arcs import (
+    Arc,
+    arcs_to_arrays,
+    build_adjacency,
+    pair_arcs,
+    undirected_pairs,
+    validate_arcs,
+)
+
+
+class Network:
+    """Immutable directed network with capacities and propagation delays.
+
+    Args:
+        num_nodes: number of nodes; node ids are ``0 .. num_nodes - 1``.
+        arcs: directed arcs; at most one per ordered node pair.
+        positions: optional ``(num_nodes, 2)`` coordinates (used by the
+            synthetic topology generators and for geographic delays).
+        name: human-readable topology label for reports.
+
+    The class is deliberately free of routing logic; it only answers
+    structural questions.  Routing lives in
+    :class:`repro.routing.engine.RoutingEngine`.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        arcs: Sequence[Arc],
+        positions: np.ndarray | None = None,
+        name: str = "network",
+    ) -> None:
+        if num_nodes < 2:
+            raise ValueError("a network needs at least two nodes")
+        validate_arcs(num_nodes, arcs)
+        self._num_nodes = num_nodes
+        self._arcs = tuple(arcs)
+        self._name = name
+        (
+            self.arc_src,
+            self.arc_dst,
+            self.capacity,
+            self.prop_delay,
+        ) = arcs_to_arrays(self._arcs)
+        self.reverse_arc = pair_arcs(self._arcs)
+        self.out_arcs, self.in_arcs = build_adjacency(
+            num_nodes, self.arc_src, self.arc_dst
+        )
+        self._link_groups = undirected_pairs(self._arcs)
+        self._arc_index: dict[tuple[int, int], int] = {
+            arc.endpoints: i for i, arc in enumerate(self._arcs)
+        }
+        if positions is not None:
+            positions = np.asarray(positions, dtype=np.float64)
+            if positions.shape != (num_nodes, 2):
+                raise ValueError("positions must have shape (num_nodes, 2)")
+        self.positions = positions
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Topology label used in experiment reports."""
+        return self._name
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``|V|``."""
+        return self._num_nodes
+
+    @property
+    def num_arcs(self) -> int:
+        """Number of directed arcs ``|E|`` (the paper's link count)."""
+        return len(self._arcs)
+
+    @property
+    def arcs(self) -> tuple[Arc, ...]:
+        """The arc records, indexed by arc id."""
+        return self._arcs
+
+    @property
+    def link_groups(self) -> list[tuple[int, ...]]:
+        """Physical links as groups of mutually-reverse arc ids."""
+        return list(self._link_groups)
+
+    @property
+    def num_links(self) -> int:
+        """Number of physical (bidirectional) links."""
+        return len(self._link_groups)
+
+    @property
+    def mean_degree(self) -> float:
+        """Mean *out*-degree, the paper's "average node degree"."""
+        return self.num_arcs / self.num_nodes
+
+    def arc_id(self, src: int, dst: int) -> int:
+        """Arc index of the ``(src, dst)`` arc; ``KeyError`` if absent."""
+        return self._arc_index[(src, dst)]
+
+    def has_arc(self, src: int, dst: int) -> bool:
+        """Whether the ordered pair ``(src, dst)`` is an arc."""
+        return (src, dst) in self._arc_index
+
+    def arcs_of_node(self, node: int) -> np.ndarray:
+        """All arc ids incident to ``node`` (both directions)."""
+        return np.concatenate((self.out_arcs[node], self.in_arcs[node]))
+
+    def degree(self, node: int) -> int:
+        """Out-degree of ``node``."""
+        return len(self.out_arcs[node])
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_networkx(
+        cls,
+        graph: nx.Graph | nx.DiGraph,
+        capacity: float | Mapping[tuple[int, int], float] = 500e6,
+        prop_delay: float | Mapping[tuple[int, int], float] = 0.005,
+        name: str | None = None,
+    ) -> "Network":
+        """Build a :class:`Network` from a NetworkX graph.
+
+        Undirected graphs become two opposite arcs per edge.  ``capacity``
+        and ``prop_delay`` may be scalars or per-edge mappings keyed by
+        ``(u, v)``; edge attributes named ``"capacity"`` / ``"prop_delay"``
+        take precedence over both.
+
+        Nodes are relabeled to ``0..n-1`` in sorted order.
+        """
+        nodes = sorted(graph.nodes)
+        relabel = {node: i for i, node in enumerate(nodes)}
+
+        def _value(
+            spec: float | Mapping[tuple[int, int], float],
+            u: object,
+            v: object,
+            attrs: Mapping[str, object],
+            attr_name: str,
+        ) -> float:
+            if attr_name in attrs:
+                return float(attrs[attr_name])  # type: ignore[arg-type]
+            if isinstance(spec, Mapping):
+                if (u, v) in spec:
+                    return float(spec[(u, v)])  # type: ignore[index]
+                return float(spec[(v, u)])  # type: ignore[index]
+            return float(spec)
+
+        arcs: list[Arc] = []
+        if graph.is_directed():
+            edge_iter: Iterable[tuple[object, object, dict]] = graph.edges(
+                data=True
+            )
+            for u, v, attrs in edge_iter:
+                arcs.append(
+                    Arc(
+                        relabel[u],
+                        relabel[v],
+                        _value(capacity, u, v, attrs, "capacity"),
+                        _value(prop_delay, u, v, attrs, "prop_delay"),
+                    )
+                )
+        else:
+            for u, v, attrs in graph.edges(data=True):
+                cap = _value(capacity, u, v, attrs, "capacity")
+                delay = _value(prop_delay, u, v, attrs, "prop_delay")
+                arcs.append(Arc(relabel[u], relabel[v], cap, delay))
+                arcs.append(Arc(relabel[v], relabel[u], cap, delay))
+
+        positions = None
+        if all("pos" in graph.nodes[node] for node in nodes):
+            positions = np.asarray(
+                [graph.nodes[node]["pos"] for node in nodes], dtype=np.float64
+            )
+        return cls(
+            len(nodes),
+            arcs,
+            positions=positions,
+            name=name or getattr(graph, "name", "") or "network",
+        )
+
+    def to_networkx(self) -> nx.DiGraph:
+        """Export as a NetworkX ``DiGraph`` with capacity/delay attributes."""
+        graph = nx.DiGraph(name=self._name)
+        graph.add_nodes_from(range(self._num_nodes))
+        if self.positions is not None:
+            for node in range(self._num_nodes):
+                graph.nodes[node]["pos"] = tuple(self.positions[node])
+        for arc in self._arcs:
+            graph.add_edge(
+                arc.src,
+                arc.dst,
+                capacity=arc.capacity,
+                prop_delay=arc.prop_delay,
+            )
+        return graph
+
+    # ------------------------------------------------------------------
+    # structural checks
+    # ------------------------------------------------------------------
+    def is_strongly_connected(self) -> bool:
+        """Whether every node can reach every other node."""
+        return nx.is_strongly_connected(self.to_networkx())
+
+    def survives_arc_failures(self, arc_ids: Sequence[int]) -> bool:
+        """Whether the network stays strongly connected without ``arc_ids``."""
+        graph = self.to_networkx()
+        graph.remove_edges_from(
+            self._arcs[a].endpoints for a in arc_ids
+        )
+        return nx.is_strongly_connected(graph)
+
+    def with_prop_delays(self, prop_delay: np.ndarray) -> "Network":
+        """Copy of this network with per-arc propagation delays replaced."""
+        prop_delay = np.asarray(prop_delay, dtype=np.float64)
+        if prop_delay.shape != (self.num_arcs,):
+            raise ValueError("prop_delay must have one entry per arc")
+        arcs = [
+            Arc(a.src, a.dst, a.capacity, float(d))
+            for a, d in zip(self._arcs, prop_delay)
+        ]
+        return Network(
+            self._num_nodes, arcs, positions=self.positions, name=self._name
+        )
+
+    def with_capacities(self, capacity: np.ndarray) -> "Network":
+        """Copy of this network with per-arc capacities replaced."""
+        capacity = np.asarray(capacity, dtype=np.float64)
+        if capacity.shape != (self.num_arcs,):
+            raise ValueError("capacity must have one entry per arc")
+        arcs = [
+            Arc(a.src, a.dst, float(c), a.prop_delay)
+            for a, c in zip(self._arcs, capacity)
+        ]
+        return Network(
+            self._num_nodes, arcs, positions=self.positions, name=self._name
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Network(name={self._name!r}, nodes={self._num_nodes}, "
+            f"arcs={self.num_arcs})"
+        )

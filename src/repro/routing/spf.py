@@ -1,0 +1,148 @@
+"""Shortest-path computations for one weighted topology.
+
+Distances come from :func:`scipy.sparse.csgraph.dijkstra` on a CSR matrix
+(C speed); equal-cost multipath structure is recovered with the standard
+arc test: arc ``(u, v)`` lies on a shortest path towards destination ``t``
+iff ``dist(u, t) == w(u, v) + dist(v, t)``.
+
+Weights are integer-valued floats (OSPF-style), so the sums involved are
+exact in float64; a small tolerance is still applied for robustness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import dijkstra
+
+from repro.routing.network import Network
+
+#: Tolerance used when testing membership in the shortest-path DAG.
+SPF_TOLERANCE = 1e-9
+
+
+def distance_matrix(
+    network: Network,
+    weights: np.ndarray,
+    disabled: np.ndarray | None = None,
+) -> np.ndarray:
+    """All-pairs shortest-path distances under the given arc weights.
+
+    Args:
+        network: the topology.
+        weights: per-arc weights, shape ``(num_arcs,)``, all >= 1.
+        disabled: optional boolean per-arc mask of dead arcs.
+
+    Returns:
+        ``(N, N)`` float array ``dist`` with ``dist[s, t]`` the length of
+        the shortest ``s -> t`` path, ``inf`` when unreachable, 0 on the
+        diagonal.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (network.num_arcs,):
+        raise ValueError("weights must have one entry per arc")
+    if np.any(weights < 1):
+        raise ValueError("arc weights must be >= 1")
+    if disabled is None:
+        src, dst, data = network.arc_src, network.arc_dst, weights
+    else:
+        keep = ~np.asarray(disabled, dtype=bool)
+        src, dst, data = (
+            network.arc_src[keep],
+            network.arc_dst[keep],
+            weights[keep],
+        )
+    n = network.num_nodes
+    graph = csr_matrix((data, (src, dst)), shape=(n, n))
+    return dijkstra(graph, directed=True)
+
+
+def shortest_arc_mask(
+    network: Network,
+    weights: np.ndarray,
+    dist_to_t: np.ndarray,
+    disabled: np.ndarray | None = None,
+) -> np.ndarray:
+    """Which arcs belong to the shortest-path DAG towards one destination.
+
+    Args:
+        network: the topology.
+        weights: per-arc weights.
+        dist_to_t: distances to the destination, i.e. ``dist[:, t]``.
+        disabled: optional boolean per-arc mask of dead arcs.
+
+    Returns:
+        Boolean per-arc mask; ``mask[a]`` is True iff arc ``a = (u, v)``
+        satisfies ``dist_to_t[u] == w[a] + dist_to_t[v]`` with both
+        distances finite (and the arc alive).
+    """
+    du = dist_to_t[network.arc_src]
+    dv = dist_to_t[network.arc_dst]
+    with np.errstate(invalid="ignore"):
+        on_dag = np.abs(du - (weights + dv)) <= SPF_TOLERANCE
+    on_dag &= np.isfinite(du) & np.isfinite(dv)
+    if disabled is not None:
+        on_dag &= ~disabled
+    return on_dag
+
+
+def path_counts(
+    network: Network, mask: np.ndarray, dist_to_t: np.ndarray, t: int
+) -> np.ndarray:
+    """Number of distinct shortest paths from each node to ``t``.
+
+    A path-diversity diagnostic (the paper repeatedly attributes the
+    benefit of robust optimization to path diversity).  Counts are
+    computed by dynamic programming over the shortest-path DAG in
+    increasing distance order.
+    """
+    n = network.num_nodes
+    counts = np.zeros(n, dtype=np.float64)
+    counts[t] = 1.0
+    order = np.argsort(dist_to_t, kind="stable")
+    for u in order:
+        if u == t or not np.isfinite(dist_to_t[u]):
+            continue
+        out = network.out_arcs[u]
+        live = out[mask[out]]
+        counts[u] = counts[network.arc_dst[live]].sum()
+    return counts
+
+
+def next_hops(
+    network: Network, mask: np.ndarray, node: int
+) -> np.ndarray:
+    """ECMP next-hop node ids of ``node`` in a shortest-path DAG mask."""
+    out = network.out_arcs[node]
+    live = out[mask[out]]
+    return network.arc_dst[live]
+
+
+def extract_one_path(
+    network: Network,
+    mask: np.ndarray,
+    dist_to_t: np.ndarray,
+    source: int,
+    t: int,
+) -> list[int]:
+    """One concrete shortest path ``source -> t`` as a node list.
+
+    Picks the lexicographically-smallest next hop at each step; useful in
+    examples and debugging output, never in the optimization itself.
+
+    Raises:
+        ValueError: if ``source`` cannot reach ``t``.
+    """
+    if not np.isfinite(dist_to_t[source]):
+        raise ValueError(f"node {source} cannot reach {t}")
+    path = [source]
+    node = source
+    while node != t:
+        hops = next_hops(network, mask, node)
+        if hops.size == 0:
+            raise ValueError(f"dead end at node {node} towards {t}")
+        node = int(hops.min())
+        path.append(node)
+        if len(path) > network.num_nodes:
+            raise ValueError("cycle detected in shortest-path DAG")
+    return path

@@ -1,0 +1,88 @@
+"""Aggregated link-level state of the network under one routing.
+
+A :class:`NetworkState` bundles the per-class and total arc loads together
+with derived utilizations, giving the cost model and the analysis metrics
+a single object to consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.routing.engine import ClassRouting
+from repro.routing.network import Network
+
+
+@dataclass(frozen=True)
+class NetworkState:
+    """Link loads and utilizations under one (scenario, weight setting).
+
+    Attributes:
+        network: the topology.
+        loads_delay: per-arc load of the delay-sensitive class (bits/s).
+        loads_tput: per-arc load of the throughput-sensitive class.
+        undelivered_delay: delay-class volume lost to disconnection.
+        undelivered_tput: throughput-class volume lost to disconnection.
+    """
+
+    network: Network
+    loads_delay: np.ndarray
+    loads_tput: np.ndarray
+    undelivered_delay: float = 0.0
+    undelivered_tput: float = 0.0
+
+    def __post_init__(self) -> None:
+        n = self.network.num_arcs
+        for name in ("loads_delay", "loads_tput"):
+            arr = getattr(self, name)
+            if arr.shape != (n,):
+                raise ValueError(f"{name} must have one entry per arc")
+
+    @classmethod
+    def from_routings(
+        cls, delay_routing: ClassRouting, tput_routing: ClassRouting
+    ) -> "NetworkState":
+        """Combine the two per-class routings into one link state."""
+        if delay_routing.network is not tput_routing.network:
+            raise ValueError("routings belong to different networks")
+        return cls(
+            network=delay_routing.network,
+            loads_delay=delay_routing.loads,
+            loads_tput=tput_routing.loads,
+            undelivered_delay=delay_routing.undelivered,
+            undelivered_tput=tput_routing.undelivered,
+        )
+
+    @property
+    def total_loads(self) -> np.ndarray:
+        """Per-arc total load ``x_l`` (classes share a FIFO queue)."""
+        return self.loads_delay + self.loads_tput
+
+    @property
+    def utilization(self) -> np.ndarray:
+        """Per-arc utilization ``x_l / C_l``."""
+        return self.total_loads / self.network.capacity
+
+    @property
+    def mean_utilization(self) -> float:
+        """Average utilization over arcs that carry any traffic or not.
+
+        The paper's "average link utilization" statistic averages across
+        all links.
+        """
+        return float(self.utilization.mean())
+
+    @property
+    def max_utilization(self) -> float:
+        """Maximum per-arc utilization."""
+        return float(self.utilization.max())
+
+    def arcs_carrying_tput(self) -> np.ndarray:
+        """Boolean mask of arcs with positive throughput-class load.
+
+        Eq. (3) of the paper sums the congestion cost over "the set of
+        links carrying throughput-sensitive traffic".
+        """
+        return self.loads_tput > 0.0

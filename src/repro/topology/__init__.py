@@ -1,0 +1,39 @@
+"""Topology substrate: the paper's four topology families plus delay tools."""
+
+from repro.topology.base import (
+    DEFAULT_CAPACITY_BPS,
+    network_from_edge_delays,
+    network_from_edges,
+    target_edge_count,
+)
+from repro.topology.delays import (
+    delays_in_range,
+    propagation_diameter,
+    propagation_distance_matrix,
+    scale_to_diameter,
+    scale_to_fraction_of_bound,
+)
+from repro.topology.isp import ISP_CITIES, ISP_LINKS, isp_city_names, isp_topology
+from repro.topology.near import near_topology
+from repro.topology.powerlaw import barabasi_albert_edges, powerlaw_topology
+from repro.topology.rand import rand_topology
+
+__all__ = [
+    "DEFAULT_CAPACITY_BPS",
+    "ISP_CITIES",
+    "ISP_LINKS",
+    "barabasi_albert_edges",
+    "delays_in_range",
+    "isp_city_names",
+    "isp_topology",
+    "near_topology",
+    "network_from_edge_delays",
+    "network_from_edges",
+    "powerlaw_topology",
+    "propagation_diameter",
+    "propagation_distance_matrix",
+    "rand_topology",
+    "scale_to_diameter",
+    "scale_to_fraction_of_bound",
+    "target_edge_count",
+]

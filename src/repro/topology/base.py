@@ -1,0 +1,105 @@
+"""Shared builder turning undirected edge lists into :class:`Network`.
+
+All synthetic generators produce (positions, undirected edges); this module
+attaches capacities and distance-derived propagation delays and emits the
+bidirectional directed network the paper's model expects.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.routing.arcs import Arc
+from repro.routing.network import Network
+from repro.topology.delays import DEFAULT_DELAY_RANGE, delays_in_range
+from repro.topology.geometry import edge_lengths
+from repro.topology.validation import canonical_edges
+
+#: Paper's link capacity: 500 Mbps on every link.
+DEFAULT_CAPACITY_BPS = 500e6
+
+
+def network_from_edges(
+    positions: np.ndarray,
+    edges: Sequence[tuple[int, int]],
+    capacity: float = DEFAULT_CAPACITY_BPS,
+    delay_range: tuple[float, float] = DEFAULT_DELAY_RANGE,
+    name: str = "topology",
+) -> Network:
+    """Build a bidirectional network from an undirected edge list.
+
+    Args:
+        positions: ``(N, 2)`` node coordinates.
+        edges: undirected edges; duplicates and orientation are normalized.
+        capacity: per-arc capacity in bits/s (paper: 500 Mbps).
+        delay_range: per-arc propagation delays are edge lengths mapped
+            affinely onto this interval (seconds).
+        name: topology label.
+
+    Returns:
+        A strongly-connected-iff-the-edge-set-is :class:`Network` with two
+        opposite arcs per edge sharing capacity and delay.
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    norm_edges = canonical_edges(list(edges))
+    lengths = edge_lengths(positions, norm_edges)
+    delays = delays_in_range(lengths, *delay_range)
+    arcs: list[Arc] = []
+    for (u, v), delay in zip(norm_edges, delays):
+        arcs.append(Arc(u, v, capacity, float(delay)))
+        arcs.append(Arc(v, u, capacity, float(delay)))
+    return Network(
+        num_nodes=positions.shape[0],
+        arcs=arcs,
+        positions=positions,
+        name=name,
+    )
+
+
+def network_from_edge_delays(
+    positions: np.ndarray,
+    edges: Sequence[tuple[int, int]],
+    delays_s: Sequence[float],
+    capacity: float = DEFAULT_CAPACITY_BPS,
+    name: str = "topology",
+) -> Network:
+    """Like :func:`network_from_edges` but with explicit per-edge delays."""
+    positions = np.asarray(positions, dtype=np.float64)
+    norm_edges = canonical_edges(list(edges))
+    if len(norm_edges) != len(edges):
+        raise ValueError(
+            "explicit delays require a duplicate-free canonical edge list"
+        )
+    if len(delays_s) != len(norm_edges):
+        raise ValueError("one delay per edge required")
+    arcs: list[Arc] = []
+    for (u, v), delay in zip(norm_edges, delays_s):
+        arcs.append(Arc(u, v, capacity, float(delay)))
+        arcs.append(Arc(v, u, capacity, float(delay)))
+    return Network(
+        num_nodes=positions.shape[0],
+        arcs=arcs,
+        positions=positions,
+        name=name,
+    )
+
+
+def target_edge_count(num_nodes: int, mean_degree: float) -> int:
+    """Undirected edge budget realizing a mean (arc) degree.
+
+    The paper counts directed arcs: a 30-node, 180-link RandTopo has mean
+    node degree 6, i.e. ``edges = n * degree / 2``.
+    """
+    if mean_degree <= 0:
+        raise ValueError("mean_degree must be positive")
+    edges = round(num_nodes * mean_degree / 2.0)
+    max_edges = num_nodes * (num_nodes - 1) // 2
+    if edges < num_nodes - 1:
+        raise ValueError(
+            f"mean degree {mean_degree} cannot connect {num_nodes} nodes"
+        )
+    if edges > max_edges:
+        raise ValueError("mean degree exceeds complete graph")
+    return edges

@@ -1,0 +1,101 @@
+"""Propagation-delay assignment for generated topologies.
+
+Section V-A1: "link propagation delays are determined by the Euclidean
+distances between nodes and scaled proportionally to ensure a reasonable
+match between the target SLA bound θ and the network diameter"; delays
+"ranged roughly from 5 ms to 20 ms".
+
+Two strategies are provided:
+
+* :func:`delays_in_range` maps edge lengths affinely onto [5 ms, 20 ms];
+* :func:`scale_to_diameter` rescales delays proportionally so the
+  propagation-only network diameter (longest shortest-path delay over SD
+  pairs) equals the target — this matches footnote 14 ("maximum end-to-end
+  propagation delay was fixed to 25 ms").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import dijkstra
+
+from repro.routing.network import Network
+
+#: Paper's approximate per-arc delay range (seconds).
+DEFAULT_DELAY_RANGE = (0.005, 0.020)
+
+
+def delays_in_range(
+    lengths: np.ndarray,
+    low: float = DEFAULT_DELAY_RANGE[0],
+    high: float = DEFAULT_DELAY_RANGE[1],
+) -> np.ndarray:
+    """Affinely map edge lengths onto a delay interval.
+
+    Degenerate inputs (all lengths equal) map to the interval midpoint.
+    """
+    lengths = np.asarray(lengths, dtype=np.float64)
+    if lengths.size == 0:
+        return lengths.copy()
+    if not 0 < low <= high:
+        raise ValueError("need 0 < low <= high")
+    span = lengths.max() - lengths.min()
+    if span <= 0:
+        return np.full_like(lengths, (low + high) / 2.0)
+    return low + (lengths - lengths.min()) * (high - low) / span
+
+
+def propagation_distance_matrix(network: Network) -> np.ndarray:
+    """All-pairs shortest *propagation delay* between nodes.
+
+    Uses the propagation delays themselves as arc costs, i.e. the best
+    physically-achievable end-to-end delay ignoring queueing.
+    """
+    n = network.num_nodes
+    graph = csr_matrix(
+        (network.prop_delay, (network.arc_src, network.arc_dst)),
+        shape=(n, n),
+    )
+    return dijkstra(graph, directed=True)
+
+
+def propagation_diameter(network: Network) -> float:
+    """Largest finite entry of :func:`propagation_distance_matrix`."""
+    dist = propagation_distance_matrix(network)
+    finite = dist[np.isfinite(dist)]
+    off_diag = finite[finite > 0.0]
+    if off_diag.size == 0:
+        raise ValueError("network has no connected SD pair")
+    return float(off_diag.max())
+
+
+def scale_to_diameter(network: Network, target: float) -> Network:
+    """Rescale all propagation delays so the delay diameter equals ``target``.
+
+    Args:
+        network: the topology whose delays to rescale.
+        target: desired propagation-only diameter in seconds (the paper
+            fixes 25 ms for RandTopo in Table V).
+
+    Returns:
+        A new :class:`Network` with proportionally scaled delays.
+    """
+    if target <= 0:
+        raise ValueError("target diameter must be positive")
+    current = propagation_diameter(network)
+    factor = target / current
+    return network.with_prop_delays(network.prop_delay * factor)
+
+
+def scale_to_fraction_of_bound(
+    network: Network, theta: float, fraction: float = 1.0
+) -> Network:
+    """Scale delays so the diameter is ``fraction * theta``.
+
+    ``fraction`` < 1 leaves failure-tolerance margin; the Table V setup
+    corresponds to ``fraction = 1.0`` with ``theta`` = 25 ms.
+    """
+    if not 0 < fraction <= 1:
+        raise ValueError("fraction must lie in (0, 1]")
+    return scale_to_diameter(network, theta * fraction)

@@ -1,0 +1,64 @@
+"""Geometric helpers shared by the topology generators.
+
+Synthetic topologies place nodes uniformly at random in the unit square
+(Section V-A1); the ISP topology uses real city coordinates, so both
+Euclidean and great-circle distances live here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Propagation speed of light in fiber, km/s (standard 2/3 of c).
+FIBER_SPEED_KM_PER_S = 2.0e5
+
+#: Mean Earth radius in km, for great-circle distances.
+EARTH_RADIUS_KM = 6371.0
+
+
+def uniform_positions(
+    num_nodes: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Node coordinates drawn uniformly from the unit square."""
+    if num_nodes < 1:
+        raise ValueError("num_nodes must be positive")
+    return rng.uniform(0.0, 1.0, size=(num_nodes, 2))
+
+
+def euclidean_distances(positions: np.ndarray) -> np.ndarray:
+    """Full pairwise Euclidean distance matrix for 2-D positions."""
+    positions = np.asarray(positions, dtype=np.float64)
+    diff = positions[:, None, :] - positions[None, :, :]
+    return np.sqrt((diff**2).sum(axis=-1))
+
+
+def haversine_km(
+    lat1: float, lon1: float, lat2: float, lon2: float
+) -> float:
+    """Great-circle distance between two (lat, lon) points, in km."""
+    phi1, phi2 = np.radians(lat1), np.radians(lat2)
+    dphi = phi2 - phi1
+    dlambda = np.radians(lon2 - lon1)
+    a = (
+        np.sin(dphi / 2.0) ** 2
+        + np.cos(phi1) * np.cos(phi2) * np.sin(dlambda / 2.0) ** 2
+    )
+    return float(2.0 * EARTH_RADIUS_KM * np.arcsin(np.sqrt(a)))
+
+
+def geographic_delay_s(distance_km: float) -> float:
+    """Propagation delay of a fiber span of the given length, seconds."""
+    if distance_km < 0:
+        raise ValueError("distance must be non-negative")
+    return distance_km / FIBER_SPEED_KM_PER_S
+
+
+def edge_lengths(
+    positions: np.ndarray, edges: list[tuple[int, int]]
+) -> np.ndarray:
+    """Euclidean length of each undirected edge."""
+    positions = np.asarray(positions, dtype=np.float64)
+    out = np.empty(len(edges), dtype=np.float64)
+    for i, (u, v) in enumerate(edges):
+        out[i] = float(np.linalg.norm(positions[u] - positions[v]))
+    return out

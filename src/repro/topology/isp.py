@@ -1,0 +1,92 @@
+"""The 16-node, 70-arc North-American ISP backbone (Section V-A1).
+
+The paper uses an unnamed "North American ISP backbone network of 16 nodes
+and 70 links" with geographically-derived propagation delays.  We build a
+stand-in with the same size: 16 major U.S. cities, 35 bidirectional links
+(70 arcs) following typical backbone adjacency, 500 Mbps per arc, and
+delays from great-circle distance at fiber speed.  DESIGN.md records this
+substitution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.routing.arcs import Arc
+from repro.routing.network import Network
+from repro.topology.base import DEFAULT_CAPACITY_BPS
+from repro.topology.geometry import geographic_delay_s, haversine_km
+
+#: City name -> (latitude, longitude); index order defines node ids.
+ISP_CITIES: tuple[tuple[str, float, float], ...] = (
+    ("Seattle", 47.61, -122.33),
+    ("Sunnyvale", 37.37, -122.04),
+    ("LosAngeles", 34.05, -118.24),
+    ("Phoenix", 33.45, -112.07),
+    ("SaltLakeCity", 40.76, -111.89),
+    ("Denver", 39.74, -104.99),
+    ("Dallas", 32.78, -96.80),
+    ("Houston", 29.76, -95.37),
+    ("KansasCity", 39.10, -94.58),
+    ("Chicago", 41.88, -87.63),
+    ("Indianapolis", 39.77, -86.16),
+    ("Atlanta", 33.75, -84.39),
+    ("Miami", 25.76, -80.19),
+    ("WashingtonDC", 38.91, -77.04),
+    ("NewYork", 40.71, -74.01),
+    ("Boston", 42.36, -71.06),
+)
+
+#: The 35 bidirectional links of the backbone (node-id pairs).
+ISP_LINKS: tuple[tuple[int, int], ...] = (
+    (0, 1), (0, 4), (0, 5), (0, 9),
+    (1, 2), (1, 4), (1, 5),
+    (2, 3), (2, 4), (2, 6),
+    (3, 5), (3, 6), (3, 7),
+    (4, 5), (4, 8),
+    (5, 6), (5, 8),
+    (6, 7), (6, 8), (6, 11),
+    (7, 11), (7, 12),
+    (8, 9), (8, 10),
+    (9, 10), (9, 14), (9, 15),
+    (10, 11), (10, 13),
+    (11, 12), (11, 13),
+    (12, 13),
+    (13, 14), (13, 15),
+    (14, 15),
+)
+
+
+def isp_city_names() -> tuple[str, ...]:
+    """City names in node-id order."""
+    return tuple(city[0] for city in ISP_CITIES)
+
+
+def isp_link_delay_s(u: int, v: int) -> float:
+    """Propagation delay of the (u, v) backbone link, in seconds."""
+    _, lat1, lon1 = ISP_CITIES[u]
+    _, lat2, lon2 = ISP_CITIES[v]
+    return geographic_delay_s(haversine_km(lat1, lon1, lat2, lon2))
+
+
+def isp_topology(capacity: float = DEFAULT_CAPACITY_BPS) -> Network:
+    """Build the 16-node, 70-arc ISP backbone.
+
+    Args:
+        capacity: per-arc capacity in bits/s (paper: 500 Mbps).
+
+    Returns:
+        A :class:`Network` named ``"ISP"`` whose positions store
+        ``(longitude, latitude)`` for plotting.
+    """
+    arcs: list[Arc] = []
+    for u, v in ISP_LINKS:
+        delay = isp_link_delay_s(u, v)
+        arcs.append(Arc(u, v, capacity, delay))
+        arcs.append(Arc(v, u, capacity, delay))
+    positions = np.asarray(
+        [(lon, lat) for _, lat, lon in ISP_CITIES], dtype=np.float64
+    )
+    return Network(
+        num_nodes=len(ISP_CITIES), arcs=arcs, positions=positions, name="ISP"
+    )

@@ -1,0 +1,112 @@
+"""NearTopo: nodes connect to their closest neighbors (Section V-A1).
+
+The construction unions symmetric k-nearest-neighbor edge sets for growing
+``k`` until the edge budget is met, then trims the geometrically longest
+non-bridge edges back to the budget.  The result is the paper's
+low-path-diversity pathology: traffic between far-apart regions funnels
+through a small set of "core" links.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.routing.network import Network
+from repro.topology.base import (
+    DEFAULT_CAPACITY_BPS,
+    network_from_edges,
+    target_edge_count,
+)
+from repro.topology.geometry import euclidean_distances, uniform_positions
+from repro.topology.validation import (
+    ensure_connected,
+    ensure_two_edge_connected,
+    is_two_edge_connected,
+    undirected_graph,
+)
+
+import networkx as nx
+
+
+def knn_edges(
+    positions: np.ndarray, k: int
+) -> list[tuple[int, int]]:
+    """Symmetric k-nearest-neighbor undirected edge set."""
+    num_nodes = positions.shape[0]
+    if not 1 <= k < num_nodes:
+        raise ValueError("need 1 <= k < num_nodes")
+    dist = euclidean_distances(positions)
+    np.fill_diagonal(dist, np.inf)
+    edges: set[tuple[int, int]] = set()
+    for u in range(num_nodes):
+        nearest = np.argsort(dist[u], kind="stable")[:k]
+        for v in nearest:
+            edges.add(tuple(sorted((u, int(v)))))
+    return sorted(edges)
+
+
+def _trim_to_budget(
+    num_nodes: int,
+    edges: list[tuple[int, int]],
+    positions: np.ndarray,
+    budget: int,
+    protect_bridges: bool,
+) -> list[tuple[int, int]]:
+    """Drop the longest edges until the budget is met, keeping connectivity."""
+    graph = undirected_graph(num_nodes, edges)
+    dist = euclidean_distances(positions)
+    by_length = sorted(
+        edges, key=lambda e: (dist[e[0], e[1]], e), reverse=True
+    )
+    for u, v in by_length:
+        if graph.number_of_edges() <= budget:
+            break
+        graph.remove_edge(u, v)
+        ok = nx.is_connected(graph)
+        if ok and protect_bridges:
+            ok = not list(nx.bridges(graph))
+        if not ok:
+            graph.add_edge(u, v)
+    return sorted(tuple(sorted(e)) for e in graph.edges())
+
+
+def near_topology(
+    num_nodes: int,
+    mean_degree: float,
+    rng: np.random.Generator,
+    capacity: float = DEFAULT_CAPACITY_BPS,
+    two_edge_connected: bool = True,
+) -> Network:
+    """Generate a NearTopo instance.
+
+    Args:
+        num_nodes: number of nodes.
+        mean_degree: target mean node degree (arcs per node).
+        rng: random generator (controls node positions).
+        capacity: per-arc capacity in bits/s.
+        two_edge_connected: cover bridges after construction.
+
+    Returns:
+        A connected bidirectional :class:`Network` named ``"NearTopo"``.
+    """
+    positions = uniform_positions(num_nodes, rng)
+    budget = target_edge_count(num_nodes, mean_degree)
+
+    k = 1
+    edges = knn_edges(positions, k)
+    while len(edges) < budget and k < num_nodes - 1:
+        k += 1
+        edges = knn_edges(positions, k)
+
+    edges = ensure_connected(num_nodes, edges, positions)
+    if two_edge_connected:
+        edges = ensure_two_edge_connected(num_nodes, edges, positions)
+    if len(edges) > budget:
+        edges = _trim_to_budget(
+            num_nodes, edges, positions, budget, two_edge_connected
+        )
+    if two_edge_connected and not is_two_edge_connected(num_nodes, edges):
+        edges = ensure_two_edge_connected(num_nodes, edges, positions)
+    return network_from_edges(
+        positions, edges, capacity=capacity, name="NearTopo"
+    )

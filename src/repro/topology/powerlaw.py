@@ -1,0 +1,74 @@
+"""PLTopo: power-law topology based on Barabási–Albert [3] (Section V-A1).
+
+The paper's 30-node PLTopo has 162 arcs = 81 undirected edges, exactly the
+BA process with 3 attachments per arriving node (3 * 27 = 81).  Node
+positions are still uniform in the unit square, since delays derive from
+Euclidean distance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.routing.network import Network
+from repro.topology.base import DEFAULT_CAPACITY_BPS, network_from_edges
+from repro.topology.geometry import uniform_positions
+from repro.topology.validation import ensure_two_edge_connected
+
+
+def barabasi_albert_edges(
+    num_nodes: int, attachments: int, rng: np.random.Generator
+) -> list[tuple[int, int]]:
+    """Undirected BA edge list via preferential attachment.
+
+    Starts from a clique on ``attachments + 1`` seed nodes (so early nodes
+    have enough targets), then attaches each new node to ``attachments``
+    distinct existing nodes chosen with probability proportional to their
+    degree (implemented with the standard repeated-endpoint urn).
+    """
+    if not 1 <= attachments < num_nodes:
+        raise ValueError("need 1 <= attachments < num_nodes")
+    seed = attachments + 1
+    edges: list[tuple[int, int]] = [
+        (u, v) for u in range(seed) for v in range(u + 1, seed)
+    ]
+    # The urn holds one entry per edge endpoint: sampling uniformly from
+    # it is preferential attachment.
+    urn: list[int] = [node for edge in edges for node in edge]
+    for new in range(seed, num_nodes):
+        targets: set[int] = set()
+        while len(targets) < attachments:
+            targets.add(int(urn[rng.integers(0, len(urn))]))
+        for t in sorted(targets):
+            edges.append((t, new))
+            urn.extend((t, new))
+    return edges
+
+
+def powerlaw_topology(
+    num_nodes: int,
+    attachments: int,
+    rng: np.random.Generator,
+    capacity: float = DEFAULT_CAPACITY_BPS,
+    two_edge_connected: bool = True,
+) -> Network:
+    """Generate a PLTopo instance.
+
+    Args:
+        num_nodes: number of nodes.
+        attachments: BA edges per arriving node (paper's [30, 162]: 3).
+        rng: random generator (positions and attachment choices).
+        capacity: per-arc capacity in bits/s.
+        two_edge_connected: cover bridges after construction (BA with
+            ``attachments >= 2`` is already 2-edge-connected in practice).
+
+    Returns:
+        A connected bidirectional :class:`Network` named ``"PLTopo"``.
+    """
+    positions = uniform_positions(num_nodes, rng)
+    edges = barabasi_albert_edges(num_nodes, attachments, rng)
+    if two_edge_connected:
+        edges = ensure_two_edge_connected(num_nodes, edges, positions)
+    return network_from_edges(
+        positions, edges, capacity=capacity, name="PLTopo"
+    )

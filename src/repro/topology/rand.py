@@ -1,0 +1,83 @@
+"""RandTopo: random graph of given average node degree (Section V-A1).
+
+Nodes are placed uniformly in the unit square; edges are a uniform random
+spanning tree (guaranteeing connectivity) plus uniformly random extra
+edges up to the target edge budget.  Optionally bridges are covered so
+single link failures cannot disconnect the graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.routing.network import Network
+from repro.topology.base import (
+    DEFAULT_CAPACITY_BPS,
+    network_from_edges,
+    target_edge_count,
+)
+from repro.topology.geometry import uniform_positions
+from repro.topology.validation import ensure_two_edge_connected
+
+
+def random_spanning_tree_edges(
+    num_nodes: int, rng: np.random.Generator
+) -> list[tuple[int, int]]:
+    """A uniformly-grown random tree over ``0..num_nodes-1``.
+
+    Each node after the first attaches to a uniformly random earlier node
+    (random recursive tree), after a random relabeling so no node id is
+    structurally special.
+    """
+    labels = rng.permutation(num_nodes)
+    edges = []
+    for i in range(1, num_nodes):
+        j = int(rng.integers(0, i))
+        edges.append((int(labels[i]), int(labels[j])))
+    return edges
+
+
+def rand_topology(
+    num_nodes: int,
+    mean_degree: float,
+    rng: np.random.Generator,
+    capacity: float = DEFAULT_CAPACITY_BPS,
+    two_edge_connected: bool = True,
+) -> Network:
+    """Generate a RandTopo instance.
+
+    Args:
+        num_nodes: number of nodes.
+        mean_degree: target mean node degree (arcs per node); the paper's
+            30-node, 180-link RandTopo corresponds to degree 6.
+        rng: random generator (controls positions and edges).
+        capacity: per-arc capacity in bits/s.
+        two_edge_connected: cover bridges so single link failures never
+            disconnect the network (adds at most a few edges).
+
+    Returns:
+        A strongly connected bidirectional :class:`Network` named
+        ``"RandTopo"``.
+    """
+    positions = uniform_positions(num_nodes, rng)
+    budget = target_edge_count(num_nodes, mean_degree)
+    edges = {tuple(sorted(e)) for e in random_spanning_tree_edges(num_nodes, rng)}
+
+    candidates = [
+        (u, v)
+        for u in range(num_nodes)
+        for v in range(u + 1, num_nodes)
+        if (u, v) not in edges
+    ]
+    rng.shuffle(candidates)
+    for u, v in candidates:
+        if len(edges) >= budget:
+            break
+        edges.add((u, v))
+
+    edge_list = sorted(edges)
+    if two_edge_connected:
+        edge_list = ensure_two_edge_connected(num_nodes, edge_list, positions)
+    return network_from_edges(
+        positions, edge_list, capacity=capacity, name="RandTopo"
+    )

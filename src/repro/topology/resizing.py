@@ -1,0 +1,94 @@
+"""Capacity resizing of congested links (Section V-B).
+
+For NearTopo the paper asks "whether robust optimization would fare
+better, if links in the core of the network were resized to eliminate
+SLA violations at least under normal conditions.  The resizing was done
+by increasing the capacity of those congested links so as to bring down
+their utilization below 90 % under normal conditions."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.routing.network import Network
+
+
+@dataclass(frozen=True)
+class ResizeReport:
+    """What a resizing pass changed.
+
+    Attributes:
+        resized_arcs: arc ids whose capacity grew.
+        old_capacity: their previous capacities.
+        new_capacity: their new capacities.
+        max_utilization_before: network max utilization pre-resize.
+        max_utilization_after: and post-resize (same loads).
+    """
+
+    resized_arcs: tuple[int, ...]
+    old_capacity: tuple[float, ...]
+    new_capacity: tuple[float, ...]
+    max_utilization_before: float
+    max_utilization_after: float
+
+    @property
+    def num_resized(self) -> int:
+        """How many arcs were upgraded."""
+        return len(self.resized_arcs)
+
+
+def resize_congested_links(
+    network: Network,
+    loads: np.ndarray,
+    utilization_target: float = 0.9,
+    symmetric: bool = True,
+) -> tuple[Network, ResizeReport]:
+    """Upgrade capacities so no arc exceeds the utilization target.
+
+    Args:
+        network: the topology.
+        loads: per-arc loads (bits/s) under the routing used to judge
+            congestion (normal conditions in the paper).
+        utilization_target: post-resize per-arc utilization ceiling
+            (paper: 0.9).
+        symmetric: upgrade both directions of a physical link together
+            (fibers are provisioned symmetrically).
+
+    Returns:
+        ``(resized_network, report)``.
+    """
+    loads = np.asarray(loads, dtype=np.float64)
+    if loads.shape != (network.num_arcs,):
+        raise ValueError("one load per arc required")
+    if not 0 < utilization_target <= 1:
+        raise ValueError("utilization_target must lie in (0, 1]")
+
+    capacity = network.capacity.copy()
+    needed = loads / utilization_target
+    over = needed > capacity
+    if symmetric:
+        for group in network.link_groups:
+            if any(over[a] for a in group):
+                requirement = max(needed[a] for a in group)
+                for a in group:
+                    needed[a] = max(needed[a], requirement)
+                    over[a] = needed[a] > capacity[a]
+
+    resized = np.flatnonzero(over)
+    old = capacity[resized]
+    capacity[resized] = needed[resized]
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        before = float((loads / network.capacity).max())
+        after = float((loads / capacity).max())
+    report = ResizeReport(
+        resized_arcs=tuple(int(a) for a in resized),
+        old_capacity=tuple(float(c) for c in old),
+        new_capacity=tuple(float(capacity[a]) for a in resized),
+        max_utilization_before=before,
+        max_utilization_after=after,
+    )
+    return network.with_capacities(capacity), report

@@ -1,0 +1,115 @@
+"""Structural validation and repair of generated topologies.
+
+Robust-routing experiments want topologies where single link failures do
+not trivially disconnect the network, so generators call
+:func:`ensure_connected` (mandatory) and optionally
+:func:`ensure_two_edge_connected` (adds the cheapest bridge-covering
+edges).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+
+def undirected_graph(
+    num_nodes: int, edges: list[tuple[int, int]]
+) -> nx.Graph:
+    """Build an undirected NetworkX graph over ``0..num_nodes-1``."""
+    graph = nx.Graph()
+    graph.add_nodes_from(range(num_nodes))
+    graph.add_edges_from(edges)
+    return graph
+
+
+def is_connected(num_nodes: int, edges: list[tuple[int, int]]) -> bool:
+    """Whether the undirected edge set connects all nodes."""
+    return nx.is_connected(undirected_graph(num_nodes, edges))
+
+
+def is_two_edge_connected(
+    num_nodes: int, edges: list[tuple[int, int]]
+) -> bool:
+    """Whether no single edge removal disconnects the graph."""
+    graph = undirected_graph(num_nodes, edges)
+    if not nx.is_connected(graph):
+        return False
+    return not list(nx.bridges(graph))
+
+
+def ensure_connected(
+    num_nodes: int,
+    edges: list[tuple[int, int]],
+    positions: np.ndarray,
+) -> list[tuple[int, int]]:
+    """Connect all components by adding the shortest inter-component edges.
+
+    Returns a new edge list; the input is not modified.
+    """
+    graph = undirected_graph(num_nodes, edges)
+    result = list(edges)
+    components = [sorted(c) for c in nx.connected_components(graph)]
+    while len(components) > 1:
+        best: tuple[float, int, int] | None = None
+        base = components[0]
+        for other in components[1:]:
+            for u in base:
+                for v in other:
+                    d = float(np.linalg.norm(positions[u] - positions[v]))
+                    if best is None or d < best[0]:
+                        best = (d, u, v)
+        assert best is not None
+        _, u, v = best
+        result.append((u, v))
+        graph.add_edge(u, v)
+        components = [sorted(c) for c in nx.connected_components(graph)]
+    return result
+
+
+def ensure_two_edge_connected(
+    num_nodes: int,
+    edges: list[tuple[int, int]],
+    positions: np.ndarray,
+) -> list[tuple[int, int]]:
+    """Remove bridges by adding the cheapest parallel-protecting edges.
+
+    For every bridge ``(u, v)`` found, adds the geometrically shortest
+    absent edge joining the two sides of the bridge.  Iterates until no
+    bridge remains.  The graph must already be connected.
+    """
+    result = list(edges)
+    graph = undirected_graph(num_nodes, result)
+    if not nx.is_connected(graph):
+        raise ValueError("graph must be connected first")
+    while True:
+        bridges = list(nx.bridges(graph))
+        if not bridges:
+            return result
+        u, v = bridges[0]
+        graph.remove_edge(u, v)
+        side_u = nx.node_connected_component(graph, u)
+        side_v = nx.node_connected_component(graph, v)
+        graph.add_edge(u, v)
+        best: tuple[float, int, int] | None = None
+        for a in sorted(side_u):
+            for b in sorted(side_v):
+                if a == b or graph.has_edge(a, b):
+                    continue
+                d = float(np.linalg.norm(positions[a] - positions[b]))
+                if best is None or d < best[0]:
+                    best = (d, a, b)
+        if best is None:
+            # Fully dense sides: the bridge cannot be covered.
+            return result
+        _, a, b = best
+        result.append((a, b))
+        graph.add_edge(a, b)
+
+
+def canonical_edges(
+    edges: list[tuple[int, int]]
+) -> list[tuple[int, int]]:
+    """Deduplicate and sort edges with ``u < v`` normalization."""
+    seen = {tuple(sorted(e)) for e in edges if e[0] != e[1]}
+    return sorted((int(u), int(v)) for u, v in seen)

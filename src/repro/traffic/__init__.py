@@ -1,0 +1,37 @@
+"""Traffic substrate: matrices, gravity generation, scaling, uncertainty."""
+
+from repro.traffic.gravity import (
+    DEFAULT_DELAY_FRACTION,
+    DtrTraffic,
+    dtr_traffic,
+    gravity_matrix,
+)
+from repro.traffic.matrix import TrafficMatrix
+from repro.traffic.scaling import (
+    reference_weights,
+    scale_to_utilization,
+    utilization_under_weights,
+)
+from repro.traffic.uncertainty import (
+    HotspotMode,
+    HotspotSpec,
+    fluctuate_traffic,
+    gaussian_fluctuation,
+    hotspot,
+)
+
+__all__ = [
+    "DEFAULT_DELAY_FRACTION",
+    "DtrTraffic",
+    "HotspotMode",
+    "HotspotSpec",
+    "TrafficMatrix",
+    "dtr_traffic",
+    "fluctuate_traffic",
+    "gaussian_fluctuation",
+    "gravity_matrix",
+    "hotspot",
+    "reference_weights",
+    "scale_to_utilization",
+    "utilization_under_weights",
+]

@@ -1,0 +1,119 @@
+"""Gravity-model traffic generation (Section V-A2, following [13]).
+
+Each node gets a random "mass" for origination and attraction; demand
+between a pair is proportional to the product of the source's origination
+mass and the destination's attraction mass — the standard synthetic model
+for backbone traffic matrices [18].  Every SD pair generates
+delay-sensitive traffic (as the paper assumes), and the delay class
+carries 30 % of total volume by default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.traffic.matrix import TrafficMatrix
+
+#: The paper's delay-sensitive share of total traffic volume.
+DEFAULT_DELAY_FRACTION = 0.3
+
+
+def gravity_matrix(
+    num_nodes: int,
+    rng: np.random.Generator,
+    total_volume: float,
+    name: str = "traffic",
+    mass_low: float = 0.1,
+    mass_high: float = 1.0,
+) -> TrafficMatrix:
+    """One gravity-model traffic matrix.
+
+    Args:
+        num_nodes: matrix dimension.
+        rng: random generator for node masses.
+        total_volume: demand sum over all SD pairs (bits/s).
+        name: matrix label.
+        mass_low: lower bound of the uniform mass distribution; strictly
+            positive so *every* SD pair gets positive demand.
+        mass_high: upper bound of the uniform mass distribution.
+
+    Returns:
+        A :class:`TrafficMatrix` with the requested total volume.
+    """
+    if total_volume < 0:
+        raise ValueError("total_volume must be non-negative")
+    if not 0 < mass_low <= mass_high:
+        raise ValueError("need 0 < mass_low <= mass_high")
+    origination = rng.uniform(mass_low, mass_high, size=num_nodes)
+    attraction = rng.uniform(mass_low, mass_high, size=num_nodes)
+    raw = np.outer(origination, attraction)
+    np.fill_diagonal(raw, 0.0)
+    weight_sum = raw.sum()
+    if weight_sum <= 0:
+        raise ValueError("degenerate gravity masses")
+    return TrafficMatrix(raw * (total_volume / weight_sum), name=name)
+
+
+@dataclass(frozen=True)
+class DtrTraffic:
+    """The two class matrices of one DTR instance.
+
+    Attributes:
+        delay: delay-sensitive demand ``R_D``.
+        throughput: throughput-sensitive demand ``R_T``.
+    """
+
+    delay: TrafficMatrix
+    throughput: TrafficMatrix
+
+    def __post_init__(self) -> None:
+        if self.delay.num_nodes != self.throughput.num_nodes:
+            raise ValueError("class matrices must share dimensions")
+
+    @property
+    def num_nodes(self) -> int:
+        """Matrix dimension ``N``."""
+        return self.delay.num_nodes
+
+    @property
+    def total(self) -> float:
+        """Total volume across both classes."""
+        return self.delay.total + self.throughput.total
+
+    @property
+    def delay_fraction(self) -> float:
+        """Share of total volume carried by the delay class."""
+        total = self.total
+        return self.delay.total / total if total > 0 else 0.0
+
+    def scaled(self, factor: float) -> "DtrTraffic":
+        """Scale both class matrices by the same factor."""
+        return DtrTraffic(
+            delay=self.delay.scaled(factor),
+            throughput=self.throughput.scaled(factor),
+        )
+
+
+def dtr_traffic(
+    num_nodes: int,
+    rng: np.random.Generator,
+    total_volume: float,
+    delay_fraction: float = DEFAULT_DELAY_FRACTION,
+) -> DtrTraffic:
+    """Generate the delay / throughput matrix pair of one instance.
+
+    The two matrices use independent gravity masses (different
+    applications, different hot destinations) and split the total volume
+    ``delay_fraction : 1 - delay_fraction``.
+    """
+    if not 0 < delay_fraction < 1:
+        raise ValueError("delay_fraction must lie in (0, 1)")
+    delay = gravity_matrix(
+        num_nodes, rng, total_volume * delay_fraction, name="delay"
+    )
+    throughput = gravity_matrix(
+        num_nodes, rng, total_volume * (1.0 - delay_fraction), name="throughput"
+    )
+    return DtrTraffic(delay=delay, throughput=throughput)

@@ -1,0 +1,91 @@
+"""Traffic-matrix value object.
+
+A :class:`TrafficMatrix` wraps an ``(N, N)`` non-negative demand array
+(bits/s) with a zero diagonal.  The routing engine consumes the raw array
+via :attr:`values`; the wrapper adds invariants, scaling, and bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+
+class TrafficMatrix:
+    """Per-SD-pair demand volumes for one traffic class.
+
+    Args:
+        values: ``(N, N)`` non-negative array; the diagonal is forced to 0.
+        name: label for reports (e.g. ``"delay"`` or ``"throughput"``).
+    """
+
+    def __init__(self, values: np.ndarray, name: str = "traffic") -> None:
+        values = np.array(values, dtype=np.float64, copy=True)
+        if values.ndim != 2 or values.shape[0] != values.shape[1]:
+            raise ValueError("traffic matrix must be square")
+        if values.shape[0] < 2:
+            raise ValueError("traffic matrix needs at least two nodes")
+        if np.any(values < 0) or not np.all(np.isfinite(values)):
+            raise ValueError("demands must be finite and non-negative")
+        np.fill_diagonal(values, 0.0)
+        values.setflags(write=False)
+        self._values = values
+        self._name = name
+
+    # ------------------------------------------------------------------
+    @property
+    def values(self) -> np.ndarray:
+        """The read-only ``(N, N)`` demand array."""
+        return self._values
+
+    @property
+    def name(self) -> str:
+        """Class label."""
+        return self._name
+
+    @property
+    def num_nodes(self) -> int:
+        """Matrix dimension ``N``."""
+        return self._values.shape[0]
+
+    @property
+    def total(self) -> float:
+        """Total demand volume across all SD pairs."""
+        return float(self._values.sum())
+
+    @property
+    def num_positive_pairs(self) -> int:
+        """Number of SD pairs with strictly positive demand."""
+        return int(np.count_nonzero(self._values))
+
+    def pairs(self) -> Iterator[tuple[int, int, float]]:
+        """Yield ``(s, t, volume)`` for every positive-demand pair."""
+        rows, cols = np.nonzero(self._values)
+        for s, t in zip(rows.tolist(), cols.tolist()):
+            yield s, t, float(self._values[s, t])
+
+    # ------------------------------------------------------------------
+    def scaled(self, factor: float) -> "TrafficMatrix":
+        """A copy with every demand multiplied by ``factor``."""
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        return TrafficMatrix(self._values * factor, name=self._name)
+
+    def with_values(self, values: np.ndarray) -> "TrafficMatrix":
+        """A copy carrying new demand values but the same name."""
+        return TrafficMatrix(values, name=self._name)
+
+    def __add__(self, other: "TrafficMatrix") -> "TrafficMatrix":
+        if self.num_nodes != other.num_nodes:
+            raise ValueError("matrix dimensions differ")
+        return TrafficMatrix(
+            self._values + other._values,
+            name=f"{self._name}+{other._name}",
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TrafficMatrix(name={self._name!r}, nodes={self.num_nodes}, "
+            f"total={self.total:.3g})"
+        )

@@ -1,0 +1,116 @@
+"""Traffic-uncertainty models of Section V-F.
+
+Two families:
+
+* :func:`gaussian_fluctuation` — measurement error / random fluctuation:
+  each demand is perturbed by a zero-mean Gaussian whose standard
+  deviation is ``eps`` times the demand (paper: ε = 0.2, i.e. ±40 % with
+  ≈95 % likelihood), truncated at zero;
+* :func:`hotspot` — sporadic incidents: a few server nodes see their
+  client traffic scaled by factors ν, μ ~ U[2, 6] in either the upload
+  (client → server) or download (server → client) direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.traffic.gravity import DtrTraffic
+from repro.traffic.matrix import TrafficMatrix
+
+
+def gaussian_fluctuation(
+    matrix: TrafficMatrix, eps: float, rng: np.random.Generator
+) -> TrafficMatrix:
+    """Perturb every demand by ``N(0, eps * r)``, truncated at zero."""
+    if eps < 0:
+        raise ValueError("eps must be non-negative")
+    values = matrix.values
+    noise = rng.normal(0.0, 1.0, size=values.shape) * (eps * values)
+    return matrix.with_values(np.maximum(values + noise, 0.0))
+
+
+def fluctuate_traffic(
+    traffic: DtrTraffic, eps: float, rng: np.random.Generator
+) -> DtrTraffic:
+    """Apply :func:`gaussian_fluctuation` to both classes independently."""
+    return DtrTraffic(
+        delay=gaussian_fluctuation(traffic.delay, eps, rng),
+        throughput=gaussian_fluctuation(traffic.throughput, eps, rng),
+    )
+
+
+class HotspotMode(Enum):
+    """Direction of the traffic surge."""
+
+    UPLOAD = "upload"  # client -> server entries are scaled
+    DOWNLOAD = "download"  # server -> client entries are scaled
+
+
+@dataclass(frozen=True)
+class HotspotSpec:
+    """Parameters of the hot-spot incident model.
+
+    Attributes:
+        server_fraction: share of nodes acting as servers (paper: 0.1).
+        client_fraction: share of nodes acting as clients (paper: 0.5).
+        factor_low: lower bound of the surge factor (paper: 2).
+        factor_high: upper bound of the surge factor (paper: 6).
+        mode: surge direction.
+    """
+
+    server_fraction: float = 0.1
+    client_fraction: float = 0.5
+    factor_low: float = 2.0
+    factor_high: float = 6.0
+    mode: HotspotMode = HotspotMode.DOWNLOAD
+
+    def __post_init__(self) -> None:
+        for name in ("server_fraction", "client_fraction"):
+            value = getattr(self, name)
+            if not 0 < value <= 1:
+                raise ValueError(f"{name} must lie in (0, 1]")
+        if not 1 <= self.factor_low <= self.factor_high:
+            raise ValueError("need 1 <= factor_low <= factor_high")
+
+
+def hotspot(
+    traffic: DtrTraffic,
+    rng: np.random.Generator,
+    spec: HotspotSpec = HotspotSpec(),
+) -> DtrTraffic:
+    """One random hot-spot incident applied to both traffic classes.
+
+    Servers and clients are disjoint node sets; each client is assigned to
+    one random server, and the corresponding SD-pair demand (direction per
+    ``spec.mode``) is multiplied by independent ν (delay class) and μ
+    (throughput class) factors drawn from ``U[factor_low, factor_high]``.
+    """
+    n = traffic.num_nodes
+    num_servers = max(1, round(spec.server_fraction * n))
+    num_clients = max(1, round(spec.client_fraction * n))
+    if num_servers + num_clients > n:
+        raise ValueError("server and client sets exceed the node count")
+    nodes = rng.permutation(n)
+    servers = nodes[:num_servers]
+    clients = nodes[num_servers : num_servers + num_clients]
+
+    delay = np.array(traffic.delay.values, copy=True)
+    tput = np.array(traffic.throughput.values, copy=True)
+    for client in clients:
+        server = int(servers[rng.integers(0, num_servers)])
+        nu = rng.uniform(spec.factor_low, spec.factor_high)
+        mu = rng.uniform(spec.factor_low, spec.factor_high)
+        if spec.mode is HotspotMode.UPLOAD:
+            s, t = int(client), server
+        else:
+            s, t = server, int(client)
+        delay[s, t] *= nu
+        tput[s, t] *= mu
+    return DtrTraffic(
+        delay=traffic.delay.with_values(delay),
+        throughput=traffic.throughput.with_values(tput),
+    )

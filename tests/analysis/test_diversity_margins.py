@@ -1,0 +1,105 @@
+"""Tests for path-diversity and failure-margin analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.diversity import (
+    disjoint_path_counts,
+    diversity_summary,
+    ecmp_path_counts,
+    stretch_path_counts,
+)
+from repro.analysis.margins import (
+    margin_histogram_ms,
+    margin_stats,
+    pair_margins_s,
+)
+from repro.topology import near_topology, rand_topology
+
+
+class TestEcmpPathCounts:
+    def test_square_ecmp(self, square_network):
+        counts = ecmp_path_counts(
+            square_network, np.ones(square_network.num_arcs)
+        )
+        # 1 -> 3 has two equal-hop paths (via 0 and via 2)
+        assert counts[1, 3] == 2
+        assert counts[0, 1] == 1
+        assert counts[0, 0] == 0
+
+
+class TestDisjointPathCounts:
+    def test_square_connectivity(self, square_network):
+        counts = disjoint_path_counts(square_network)
+        # node 1 and node 3 each have degree 2; others 3
+        assert counts[1, 3] == 2
+        assert counts[0, 2] == 3
+
+    def test_symmetric_for_bidirectional_net(self, square_network):
+        counts = disjoint_path_counts(square_network)
+        np.testing.assert_allclose(counts, counts.T)
+
+
+class TestStretchPathCounts:
+    def test_at_least_one_when_connected(self, square_network):
+        counts = stretch_path_counts(square_network, stretch=1.0)
+        off_diag = ~np.eye(4, dtype=bool)
+        assert np.all(counts[off_diag] >= 1)
+
+    def test_monotone_in_stretch(self, square_network):
+        tight = stretch_path_counts(square_network, stretch=1.0)
+        loose = stretch_path_counts(square_network, stretch=3.0)
+        assert np.all(loose >= tight)
+
+    def test_invalid_stretch(self, square_network):
+        with pytest.raises(ValueError):
+            stretch_path_counts(square_network, stretch=0.9)
+
+
+class TestDiversitySummary:
+    def test_rand_beats_near(self):
+        rand = rand_topology(16, 5.0, np.random.default_rng(3))
+        near = near_topology(16, 5.0, np.random.default_rng(3))
+        rand_summary = diversity_summary(rand)
+        near_summary = diversity_summary(near)
+        # the paper's central structural claim
+        assert (
+            rand_summary.mean_disjoint_paths
+            >= near_summary.mean_disjoint_paths
+        )
+
+    def test_fields_positive(self, square_network):
+        summary = diversity_summary(square_network)
+        assert summary.mean_ecmp_paths >= 1
+        assert summary.min_disjoint_paths >= 1
+        assert summary.mean_stretch_paths >= 1
+
+
+class TestMargins:
+    def test_pair_margins(self, small_evaluator, random_setting):
+        theta = small_evaluator.config.sla.theta
+        outcome = small_evaluator.evaluate_normal(random_setting)
+        margins = pair_margins_s(outcome, theta)
+        n = small_evaluator.network.num_nodes
+        assert margins.shape == (n * (n - 1),)
+        # margin + delay == theta
+        delays = outcome.pair_delays
+        finite = delays[~np.isnan(delays)]
+        np.testing.assert_allclose(margins, theta - finite)
+
+    def test_margin_stats(self, small_evaluator, random_setting):
+        theta = small_evaluator.config.sla.theta
+        outcome = small_evaluator.evaluate_normal(random_setting)
+        stats = margin_stats(outcome, theta)
+        assert 0.0 <= stats.at_risk_fraction <= 1.0
+        assert stats.p10_ms <= stats.mean_ms + 1e-9
+
+    def test_histogram_counts_all_pairs(
+        self, small_evaluator, random_setting
+    ):
+        theta = small_evaluator.config.sla.theta
+        outcome = small_evaluator.evaluate_normal(random_setting)
+        counts, edges = margin_histogram_ms(outcome, theta)
+        n = small_evaluator.network.num_nodes
+        assert counts.sum() == n * (n - 1)
+        assert len(edges) == len(counts) + 1

@@ -1,0 +1,136 @@
+"""Tests for table rendering and figure series output."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.series import (
+    FigureData,
+    Series,
+    render_series,
+    series_to_rows,
+    sparkline,
+)
+from repro.analysis.tables import (
+    format_value,
+    mean_std_cell,
+    render_kv,
+    render_table,
+)
+
+
+class TestMeanStdCell:
+    def test_single_value(self):
+        assert mean_std_cell([1.234]) == "1.23"
+
+    def test_mean_and_std(self):
+        cell = mean_std_cell([1.0, 3.0])
+        assert cell == "2.00 (1.41)"
+
+    def test_empty(self):
+        assert mean_std_cell([]) == "-"
+
+
+class TestFormatValue:
+    def test_string_passthrough(self):
+        assert format_value("abc") == "abc"
+
+    def test_bool(self):
+        assert format_value(True) == "yes"
+
+    def test_int(self):
+        assert format_value(7) == "7"
+
+    def test_float(self):
+        assert format_value(3.14159, digits=3) == "3.142"
+
+    def test_nan(self):
+        assert format_value(float("nan")) == "-"
+
+    def test_sequence_becomes_mean_std(self):
+        assert "(" in format_value((1.0, 2.0))
+
+
+class TestRenderTable:
+    def test_alignment_and_header(self):
+        rows = [
+            {"name": "a", "value": 1.0},
+            {"name": "bbbb", "value": 22.5},
+        ]
+        text = render_table(rows, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_missing_key_renders_dash(self):
+        rows = [{"a": 1}, {"b": 2}]
+        text = render_table(rows, columns=["a", "b"])
+        assert "-" in text.splitlines()[-1]
+
+    def test_empty(self):
+        assert render_table([]) == "(empty table)"
+
+    def test_render_kv(self):
+        text = render_kv({"alpha": 1, "beta": "x"}, title="params")
+        assert text.startswith("params")
+        assert "alpha" in text and "beta" in text
+
+
+class TestSeries:
+    def test_stats(self):
+        s = Series("x", np.asarray([1.0, 2.0, 3.0]))
+        assert s.mean == pytest.approx(2.0)
+        assert s.peak == pytest.approx(3.0)
+
+    def test_figure_get(self):
+        fig = FigureData(
+            figure_id="f",
+            xlabel="x",
+            ylabel="y",
+            series=(Series("a", np.ones(3)),),
+        )
+        assert fig.get("a").name == "a"
+        with pytest.raises(KeyError):
+            fig.get("b")
+
+
+class TestSparkline:
+    def test_length_capped(self):
+        line = sparkline(np.arange(500, dtype=float), width=40)
+        assert len(line) == 40
+
+    def test_short_series_kept(self):
+        line = sparkline(np.asarray([1.0, 2.0]), width=40)
+        assert len(line) == 2
+
+    def test_zero_series(self):
+        line = sparkline(np.zeros(5))
+        assert line == " " * 5
+
+    def test_empty(self):
+        assert sparkline(np.asarray([])) == ""
+
+    def test_render_series_output(self):
+        fig = FigureData(
+            figure_id="fig9",
+            xlabel="x",
+            ylabel="y",
+            series=(
+                Series("a", np.arange(10, dtype=float)),
+                Series("b", np.ones(10)),
+            ),
+        )
+        text = render_series(fig)
+        assert "[fig9]" in text
+        assert "a" in text and "b" in text
+
+    def test_series_to_rows(self):
+        fig = FigureData(
+            figure_id="fig9",
+            xlabel="x",
+            ylabel="y",
+            series=(Series("a", np.arange(4, dtype=float)),),
+        )
+        rows = series_to_rows(fig)
+        assert rows[0]["figure"] == "fig9"
+        assert rows[0]["n"] == 4

@@ -1,0 +1,45 @@
+"""Tests for utilization statistics."""
+
+import pytest
+
+from repro.analysis.utilization import (
+    average_link_utilization,
+    average_pair_max_utilization,
+    max_delay_carrying_utilization,
+    max_link_utilization,
+)
+
+
+class TestLinkUtilization:
+    def test_mean_below_max(self, small_evaluator, random_setting):
+        outcome = small_evaluator.evaluate_normal(random_setting)
+        mean = average_link_utilization(outcome)
+        peak = max_link_utilization(outcome)
+        assert 0 < mean <= peak
+
+
+class TestPairMaxUtilization:
+    def test_within_network_bounds(self, small_evaluator, random_setting):
+        value = average_pair_max_utilization(
+            small_evaluator, random_setting
+        )
+        outcome = small_evaluator.evaluate_normal(random_setting)
+        assert 0 < value <= max_link_utilization(outcome) + 1e-12
+
+    def test_at_least_mean_of_used(self, small_evaluator, random_setting):
+        # each pair's max utilization is at least the network mean of the
+        # arcs it uses, so the average is positive for loaded networks
+        assert (
+            average_pair_max_utilization(small_evaluator, random_setting)
+            > 0
+        )
+
+
+class TestDelayCarryingUtilization:
+    def test_bounded_by_global_max(self, small_evaluator, random_setting):
+        value = max_delay_carrying_utilization(
+            small_evaluator, random_setting
+        )
+        outcome = small_evaluator.evaluate_normal(random_setting)
+        assert value <= max_link_utilization(outcome) + 1e-12
+        assert value > 0

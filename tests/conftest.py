@@ -1,0 +1,102 @@
+"""Shared fixtures for the test suite.
+
+Fixtures build small deterministic instances so the full suite stays
+fast; anything schedule-heavy uses the tiny search configuration from
+:func:`tiny_config`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    OptimizerConfig,
+    SamplingParams,
+    SearchParams,
+    WeightParams,
+)
+from repro.core.evaluation import DtrEvaluator
+from repro.core.weights import WeightSetting
+from repro.routing.arcs import Arc
+from repro.routing.network import Network
+from repro.topology import rand_topology, scale_to_diameter
+from repro.traffic import dtr_traffic, scale_to_utilization
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def square_network() -> Network:
+    """A 4-node bidirectional square with one diagonal.
+
+    Nodes 0-1-2-3 in a cycle plus the 0-2 diagonal; capacities 100 Mbps,
+    propagation delays 1 ms on the ring and 1.5 ms on the diagonal.
+    """
+    edges = [
+        (0, 1, 0.001),
+        (1, 2, 0.001),
+        (2, 3, 0.001),
+        (3, 0, 0.001),
+        (0, 2, 0.0015),
+    ]
+    arcs = []
+    for u, v, delay in edges:
+        arcs.append(Arc(u, v, 100e6, delay))
+        arcs.append(Arc(v, u, 100e6, delay))
+    return Network(4, arcs, name="square")
+
+
+@pytest.fixture
+def small_instance() -> tuple[Network, object]:
+    """A 10-node RandTopo with scaled traffic (deterministic)."""
+    gen = np.random.default_rng(7)
+    network = scale_to_diameter(rand_topology(10, 4.0, gen), 0.025)
+    traffic = scale_to_utilization(
+        network, dtr_traffic(10, gen, 1.0), 0.4, "mean"
+    )
+    return network, traffic
+
+
+@pytest.fixture
+def tiny_config() -> OptimizerConfig:
+    """Optimizer configuration with a minutes-scale search budget."""
+    return OptimizerConfig(
+        weights=WeightParams(w_min=1, w_max=12, q=0.7),
+        search=SearchParams(
+            phase1_diversification_interval=3,
+            phase1_diversifications=1,
+            phase2_diversification_interval=2,
+            phase2_diversifications=1,
+            improvement_cutoff=0.01,
+            arcs_per_iteration_fraction=0.5,
+            round_iteration_cap_factor=3,
+            max_iterations=30,
+        ),
+        sampling=SamplingParams(
+            tau=1, min_samples_per_link=2, max_extra_samples=400
+        ),
+        critical_fraction=0.2,
+        keep_acceptable_settings=5,
+    )
+
+
+@pytest.fixture
+def small_evaluator(small_instance, tiny_config) -> DtrEvaluator:
+    """Evaluator over the small instance with the tiny configuration."""
+    network, traffic = small_instance
+    return DtrEvaluator(network, traffic, tiny_config)
+
+
+@pytest.fixture
+def random_setting(small_evaluator, rng) -> WeightSetting:
+    """A random weight setting matching the small instance."""
+    return WeightSetting.random(
+        small_evaluator.network.num_arcs,
+        small_evaluator.config.weights,
+        rng,
+    )

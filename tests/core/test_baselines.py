@@ -1,0 +1,138 @@
+"""Tests for the baseline selectors and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import (
+    fluctuation_critical_arcs,
+    load_based_critical_arcs,
+    node_failure_optimize,
+    optimize_with_critical_arcs,
+    random_critical_arcs,
+    regular_optimize,
+)
+from repro.core.sampling import CostSampleStore
+
+
+class TestRandomSelection:
+    def test_size_and_range(self, small_evaluator, rng):
+        arcs = random_critical_arcs(small_evaluator.network, 5, rng)
+        assert len(arcs) == 5
+        assert len(set(arcs)) == 5
+        assert all(0 <= a < small_evaluator.network.num_arcs for a in arcs)
+
+    def test_sorted_output(self, small_evaluator, rng):
+        arcs = random_critical_arcs(small_evaluator.network, 6, rng)
+        assert list(arcs) == sorted(arcs)
+
+    def test_invalid_size(self, small_evaluator, rng):
+        with pytest.raises(ValueError):
+            random_critical_arcs(small_evaluator.network, 0, rng)
+
+
+class TestLoadBasedSelection:
+    def test_picks_most_loaded(self, small_evaluator, random_setting):
+        outcome = small_evaluator.evaluate_normal(random_setting)
+        arcs = load_based_critical_arcs(
+            small_evaluator, random_setting, 4
+        )
+        chosen_util = outcome.utilization[list(arcs)]
+        others = np.delete(outcome.utilization, list(arcs))
+        assert chosen_util.min() >= others.max() - 1e-12
+
+    def test_size_validated(self, small_evaluator, random_setting):
+        with pytest.raises(ValueError):
+            load_based_critical_arcs(small_evaluator, random_setting, 0)
+
+
+class TestFluctuationSelection:
+    def test_prefers_bimodal_arcs(self):
+        store = CostSampleStore(3)
+        # arc 0: all middling; arc 1: spread across both regions
+        for v in [50.0] * 10:
+            store.add(0, v, v)
+        for v in [0.0, 100.0] * 5:
+            store.add(1, v, v)
+        for v in [49.0] * 10:
+            store.add(2, v, v)
+        arcs = fluctuation_critical_arcs(store, 1)
+        assert arcs == (1,)
+
+    def test_empty_store_degrades(self):
+        store = CostSampleStore(4)
+        arcs = fluctuation_critical_arcs(store, 2)
+        assert len(arcs) == 2
+
+    def test_quantile_validation(self):
+        store = CostSampleStore(2)
+        with pytest.raises(ValueError):
+            fluctuation_critical_arcs(
+                store, 1, good_quantile=0.8, bad_quantile=0.2
+            )
+
+
+class TestBaselineOptimizers:
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        from repro.config import (
+            OptimizerConfig,
+            SamplingParams,
+            SearchParams,
+            WeightParams,
+        )
+        from repro.core.evaluation import DtrEvaluator
+        from repro.topology import rand_topology, scale_to_diameter
+        from repro.traffic import dtr_traffic, scale_to_utilization
+
+        gen = np.random.default_rng(17)
+        network = scale_to_diameter(rand_topology(10, 4.0, gen), 0.025)
+        traffic = scale_to_utilization(
+            network, dtr_traffic(10, gen, 1.0), 0.4, "mean"
+        )
+        config = OptimizerConfig(
+            weights=WeightParams(w_max=12),
+            search=SearchParams(
+                phase1_diversification_interval=3,
+                phase1_diversifications=1,
+                phase2_diversification_interval=2,
+                phase2_diversifications=1,
+                improvement_cutoff=0.01,
+                arcs_per_iteration_fraction=0.5,
+                round_iteration_cap_factor=2,
+                max_iterations=20,
+            ),
+            sampling=SamplingParams(
+                tau=1, min_samples_per_link=2, max_extra_samples=300
+            ),
+        )
+        evaluator = DtrEvaluator(network, traffic, config)
+        phase1 = regular_optimize(evaluator, np.random.default_rng(2))
+        return evaluator, phase1
+
+    def test_regular_optimize_is_phase1(self, pipeline):
+        evaluator, phase1 = pipeline
+        assert phase1.best_setting.num_arcs == evaluator.network.num_arcs
+        assert phase1.pool
+
+    def test_optimize_with_custom_arcs(self, pipeline, rng):
+        evaluator, phase1 = pipeline
+        arcs = random_critical_arcs(evaluator.network, 4, rng)
+        result = optimize_with_critical_arcs(
+            evaluator, phase1, arcs, np.random.default_rng(3)
+        )
+        assert result.constraints.satisfied_by(result.normal_cost)
+
+    def test_optimize_with_empty_touch_rejected(self, pipeline, rng):
+        evaluator, phase1 = pipeline
+        with pytest.raises(ValueError, match="touches no"):
+            optimize_with_critical_arcs(
+                evaluator, phase1, [], np.random.default_rng(3)
+            )
+
+    def test_node_failure_optimize(self, pipeline):
+        evaluator, phase1 = pipeline
+        result = node_failure_optimize(
+            evaluator, phase1, np.random.default_rng(4), nodes=[0, 1, 2]
+        )
+        assert len(result.failure_evaluation) == 3
+        assert result.constraints.satisfied_by(result.normal_cost)

@@ -1,0 +1,95 @@
+"""Tests for the rank-convergence tracker."""
+
+import numpy as np
+import pytest
+
+from repro.config import SamplingParams
+from repro.core.convergence import (
+    RankConvergenceTracker,
+    rank_positions,
+    weighted_rank_change,
+)
+from repro.core.criticality import CriticalityEstimate
+
+
+def estimate_from(rho: np.ndarray) -> CriticalityEstimate:
+    rho = np.asarray(rho, dtype=float)
+    return CriticalityEstimate(
+        rho_lam=rho,
+        rho_phi=rho,
+        tail_lam=np.ones_like(rho),
+        tail_phi=np.ones_like(rho),
+        sample_counts=np.full(rho.shape, 5),
+    )
+
+
+class TestRankPositions:
+    def test_inverts_ranking(self):
+        ranking = np.asarray([2, 0, 1])
+        positions = rank_positions(ranking)
+        assert positions.tolist() == [1, 2, 0]
+
+
+class TestWeightedRankChange:
+    def test_identical_rankings_zero(self):
+        ranking = np.asarray([0, 1, 2, 3])
+        assert weighted_rank_change(ranking, ranking) == 0.0
+
+    def test_single_swap(self):
+        a = np.asarray([0, 1, 2, 3])
+        b = np.asarray([1, 0, 2, 3])
+        # two arcs moved by 1: S = (1 + 1) weighted by 1/2 each = 1
+        assert weighted_rank_change(a, b) == pytest.approx(1.0)
+
+    def test_full_reversal_large(self):
+        a = np.arange(10)
+        b = a[::-1].copy()
+        assert weighted_rank_change(a, b) > 5.0
+
+    def test_weighting_emphasizes_large_moves(self):
+        # one arc moves 4 positions, others shift by 1
+        a = np.asarray([0, 1, 2, 3, 4])
+        b = np.asarray([1, 2, 3, 4, 0])
+        uniform_mean = np.abs(
+            rank_positions(a) - rank_positions(b)
+        ).mean()
+        weighted = weighted_rank_change(a, b)
+        assert weighted > uniform_mean
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            weighted_rank_change(np.arange(3), np.arange(4))
+
+
+class TestTracker:
+    def test_not_converged_before_two_updates(self):
+        tracker = RankConvergenceTracker(threshold=2.0)
+        assert not tracker.converged
+        tracker.update(estimate_from([3.0, 2.0, 1.0]))
+        assert not tracker.converged
+        assert tracker.updates == 1
+
+    def test_converges_on_stable_ranks(self):
+        tracker = RankConvergenceTracker(threshold=2.0)
+        tracker.update(estimate_from([3.0, 2.0, 1.0]))
+        tracker.update(estimate_from([3.1, 2.1, 1.1]))
+        assert tracker.converged
+        assert tracker.last_indices == (0.0, 0.0)
+
+    def test_detects_instability(self):
+        tracker = RankConvergenceTracker(threshold=1.0)
+        tracker.update(estimate_from(np.arange(10.0)))
+        tracker.update(estimate_from(np.arange(10.0)[::-1]))
+        assert not tracker.converged
+
+    def test_reconverges_after_stabilizing(self):
+        tracker = RankConvergenceTracker(threshold=1.0)
+        tracker.update(estimate_from(np.arange(10.0)))
+        tracker.update(estimate_from(np.arange(10.0)[::-1]))
+        assert not tracker.converged
+        tracker.update(estimate_from(np.arange(10.0)[::-1]))
+        assert tracker.converged
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            RankConvergenceTracker(threshold=-1.0)

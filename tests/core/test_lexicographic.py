@@ -1,0 +1,95 @@
+"""Tests for the lexicographic cost ordering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lexicographic import (
+    CostPair,
+    relative_improvement,
+)
+
+
+costs = st.builds(
+    CostPair,
+    st.floats(0, 1e6, allow_nan=False),
+    st.floats(0, 1e6, allow_nan=False),
+)
+
+
+class TestOrdering:
+    def test_lambda_dominates(self):
+        assert CostPair(1.0, 100.0) < CostPair(2.0, 0.0)
+
+    def test_phi_breaks_ties(self):
+        assert CostPair(5.0, 1.0) < CostPair(5.0, 2.0)
+
+    def test_equal_pairs_not_less(self):
+        a = CostPair(3.0, 4.0)
+        b = CostPair(3.0, 4.0)
+        assert not a < b
+        assert a <= b
+        assert a >= b
+
+    def test_tolerance_on_lambda(self):
+        a = CostPair(1.0, 5.0)
+        b = CostPair(1.0 + 1e-9, 4.0)
+        # lambda equal within tolerance -> phi decides
+        assert b < a
+
+    def test_is_better_than(self):
+        assert CostPair(0.0, 1.0).is_better_than(CostPair(0.0, 2.0))
+        assert not CostPair(0.0, 2.0).is_better_than(CostPair(0.0, 2.0))
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            CostPair(float("nan"), 0.0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=costs, b=costs)
+    def test_total_comparability(self, a, b):
+        assert (a < b) + (b < a) + (a.lam_equals(b) and a.phi_equals(b)) >= 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=costs, b=costs, c=costs)
+    def test_transitivity(self, a, b, c):
+        if a < b and b < c:
+            assert a < c
+
+
+class TestArithmetic:
+    def test_addition(self):
+        assert CostPair(1.0, 2.0) + CostPair(3.0, 4.0) == CostPair(4.0, 6.0)
+
+    def test_zero_identity(self):
+        a = CostPair(5.0, 6.0)
+        assert a + CostPair.zero() == a
+
+    def test_total(self):
+        total = CostPair.total([CostPair(1, 1), CostPair(2, 2)])
+        assert total == CostPair(3.0, 3.0)
+
+    def test_total_empty(self):
+        assert CostPair.total([]) == CostPair.zero()
+
+
+class TestRelativeImprovement:
+    def test_lambda_improvement(self):
+        before = CostPair(100.0, 50.0)
+        after = CostPair(90.0, 60.0)
+        assert relative_improvement(before, after) == pytest.approx(0.1)
+
+    def test_phi_improvement_when_lambda_equal(self):
+        before = CostPair(100.0, 50.0)
+        after = CostPair(100.0, 45.0)
+        assert relative_improvement(before, after) == pytest.approx(0.1)
+
+    def test_no_improvement_is_zero(self):
+        before = CostPair(100.0, 50.0)
+        assert relative_improvement(before, before) == 0.0
+        assert relative_improvement(before, CostPair(110.0, 0.0)) == 0.0
+
+    def test_improvement_from_zero_lambda(self):
+        before = CostPair(0.0, 50.0)
+        after = CostPair(0.0, 40.0)
+        assert relative_improvement(before, after) == pytest.approx(0.2)

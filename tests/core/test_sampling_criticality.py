@@ -1,0 +1,206 @@
+"""Tests for sample collection, criticality estimation, and selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SamplingParams
+from repro.core.criticality import (
+    CriticalityEstimate,
+    descending_ranking,
+    estimate_criticality,
+)
+from repro.core.lexicographic import CostPair
+from repro.core.sampling import (
+    AcceptabilityRule,
+    CostSampleStore,
+    left_tail_mean,
+)
+from repro.core.selection import select_critical_links, tail_error
+
+
+class TestAcceptabilityRule:
+    def test_within_slack(self):
+        rule = AcceptabilityRule(z=0.5, chi=0.2, b1=100.0)
+        best = CostPair(100.0, 50.0)
+        assert rule.is_acceptable(CostPair(150.0, 60.0), best)
+
+    def test_lambda_slack_boundary(self):
+        rule = AcceptabilityRule(z=0.5, chi=0.2, b1=100.0)
+        best = CostPair(100.0, 50.0)
+        assert rule.is_acceptable(CostPair(150.0, 50.0), best)
+        assert not rule.is_acceptable(CostPair(151.0, 50.0), best)
+
+    def test_phi_slack_boundary(self):
+        rule = AcceptabilityRule(z=0.5, chi=0.2, b1=100.0)
+        best = CostPair(0.0, 100.0)
+        assert rule.is_acceptable(CostPair(0.0, 120.0), best)
+        assert not rule.is_acceptable(CostPair(0.0, 121.0), best)
+
+
+class TestCostSampleStore:
+    def test_add_and_count(self):
+        store = CostSampleStore(4)
+        store.add(2, 10.0, 1.0)
+        store.add(2, 20.0, 2.0)
+        assert store.count(2) == 2
+        assert store.total_samples == 2
+        assert store.counts().tolist() == [0, 0, 2, 0]
+
+    def test_samples_retrieval(self):
+        store = CostSampleStore(2)
+        store.add(0, 5.0, 0.5)
+        assert store.lam_samples(0).tolist() == [5.0]
+        assert store.phi_samples(0).tolist() == [0.5]
+
+    def test_least_sampled(self):
+        store = CostSampleStore(3)
+        store.add(0, 1.0, 1.0)
+        store.add(0, 1.0, 1.0)
+        store.add(2, 1.0, 1.0)
+        assert store.least_sampled_arcs(1) == [1]
+        assert store.least_sampled_arcs(2) == [1, 2]
+
+    def test_has_min_samples(self):
+        store = CostSampleStore(2)
+        store.add(0, 1.0, 1.0)
+        assert not store.has_min_samples(1)
+        store.add(1, 1.0, 1.0)
+        assert store.has_min_samples(1)
+
+
+class TestLeftTailMean:
+    def test_small_sample_uses_minimum(self):
+        samples = np.asarray([5.0, 1.0, 3.0])
+        assert left_tail_mean(samples, 0.1) == 1.0
+
+    def test_ten_percent_tail(self):
+        samples = np.arange(100, dtype=float)
+        # smallest 10 values: 0..9, mean 4.5
+        assert left_tail_mean(samples, 0.1) == pytest.approx(4.5)
+
+    def test_empty(self):
+        assert left_tail_mean(np.asarray([]), 0.1) == 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.floats(0, 1e6), min_size=1, max_size=50),
+        st.sampled_from([0.1, 0.25, 0.5]),
+    )
+    def test_tail_below_mean(self, values, fraction):
+        samples = np.asarray(values)
+        assert (
+            left_tail_mean(samples, fraction) <= samples.mean() + 1e-6
+        )
+
+
+class TestCriticalityEstimate:
+    def test_wide_distribution_more_critical(self):
+        params = SamplingParams()
+        store = CostSampleStore(2)
+        # arc 0: narrow distribution; arc 1: wide
+        for v in [10.0, 10.5, 11.0, 10.2, 10.8] * 4:
+            store.add(0, v, v)
+        for v in [1.0, 50.0, 100.0, 2.0, 80.0] * 4:
+            store.add(1, v, v)
+        estimate = estimate_criticality(store, params)
+        assert estimate.rho_lam[1] > estimate.rho_lam[0]
+        assert estimate.rho_phi[1] > estimate.rho_phi[0]
+
+    def test_unsampled_arc_zero(self):
+        store = CostSampleStore(3)
+        store.add(0, 5.0, 5.0)
+        estimate = estimate_criticality(store, SamplingParams())
+        assert estimate.rho_lam[1] == 0.0
+        assert estimate.tail_lam[2] == 0.0
+
+    def test_normalization_zero_safe(self):
+        store = CostSampleStore(2)
+        store.add(0, 0.0, 0.0)
+        store.add(1, 0.0, 0.0)
+        estimate = estimate_criticality(store, SamplingParams())
+        assert np.all(estimate.normalized_lam == 0.0)
+
+    def test_rankings_deterministic_on_ties(self):
+        values = np.zeros(5)
+        ranking = descending_ranking(values)
+        assert ranking.tolist() == [0, 1, 2, 3, 4]
+
+    def test_ranking_descending(self, rng):
+        values = rng.uniform(0, 1, 10)
+        ranking = descending_ranking(values)
+        assert np.all(np.diff(values[ranking]) <= 0)
+
+
+class TestSelection:
+    def _estimate(self, rho_lam, rho_phi):
+        rho_lam = np.asarray(rho_lam, dtype=float)
+        rho_phi = np.asarray(rho_phi, dtype=float)
+        return CriticalityEstimate(
+            rho_lam=rho_lam,
+            rho_phi=rho_phi,
+            tail_lam=np.ones_like(rho_lam),
+            tail_phi=np.ones_like(rho_phi),
+            sample_counts=np.full(rho_lam.shape, 10),
+        )
+
+    def test_tail_error(self):
+        err = tail_error(np.asarray([3.0, 2.0, 1.0]))
+        assert err.tolist() == [6.0, 3.0, 1.0, 0.0]
+
+    def test_picks_top_of_both_lists(self):
+        estimate = self._estimate(
+            rho_lam=[10.0, 0.0, 0.0, 0.0],
+            rho_phi=[0.0, 0.0, 0.0, 10.0],
+        )
+        selection = select_critical_links(estimate, 2)
+        assert set(selection.critical_arcs) == {0, 3}
+
+    def test_respects_target_size(self, rng):
+        estimate = self._estimate(
+            rho_lam=rng.uniform(0, 1, 20),
+            rho_phi=rng.uniform(0, 1, 20),
+        )
+        for target in (1, 5, 10, 20):
+            selection = select_critical_links(estimate, target)
+            assert len(selection) <= target
+            assert len(selection) >= 1
+
+    def test_full_target_keeps_all(self, rng):
+        estimate = self._estimate(
+            rho_lam=rng.uniform(0, 1, 8),
+            rho_phi=rng.uniform(0, 1, 8),
+        )
+        selection = select_critical_links(estimate, 8)
+        assert len(selection) == 8
+
+    def test_residual_errors_decrease_with_size(self, rng):
+        estimate = self._estimate(
+            rho_lam=rng.uniform(0, 1, 30),
+            rho_phi=rng.uniform(0, 1, 30),
+        )
+        res_small = select_critical_links(estimate, 3)
+        res_large = select_critical_links(estimate, 20)
+        small_total = (
+            res_small.residual_error_lam + res_small.residual_error_phi
+        )
+        large_total = (
+            res_large.residual_error_lam + res_large.residual_error_phi
+        )
+        assert large_total <= small_total + 1e-12
+
+    def test_invalid_target(self, rng):
+        estimate = self._estimate([1.0], [1.0])
+        with pytest.raises(ValueError):
+            select_critical_links(estimate, 0)
+
+    def test_most_critical_arcs_always_kept(self, rng):
+        rho_lam = rng.uniform(0, 0.1, 20)
+        rho_phi = rng.uniform(0, 0.1, 20)
+        rho_lam[7] = 5.0  # dominant delay-critical arc
+        rho_phi[13] = 5.0  # dominant tput-critical arc
+        estimate = self._estimate(rho_lam, rho_phi)
+        selection = select_critical_links(estimate, 4)
+        assert 7 in selection.critical_arcs
+        assert 13 in selection.critical_arcs

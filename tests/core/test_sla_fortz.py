@@ -1,0 +1,142 @@
+"""Tests for the SLA cost (Eq. 2) and the Fortz-Thorup cost."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SlaParams
+from repro.core.fortz import (
+    FORTZ_BREAKPOINTS,
+    fortz_cost,
+    fortz_link_cost,
+    uncongested_bound,
+)
+from repro.core.sla import MS_PER_S, pair_sla_cost, sla_outcome
+
+
+class TestPairSlaCost:
+    def test_zero_below_bound(self):
+        params = SlaParams(theta=0.025)
+        assert pair_sla_cost(0.024, params) == 0.0
+        assert pair_sla_cost(0.025, params) == 0.0
+
+    def test_jump_at_bound(self):
+        params = SlaParams(theta=0.025, b1=100.0, b2=1.0)
+        cost = pair_sla_cost(0.026, params)
+        assert cost == pytest.approx(100.0 + 1.0)  # B1 + 1 ms excess
+
+    def test_linear_in_excess(self):
+        params = SlaParams(theta=0.025, b1=100.0, b2=1.0)
+        c1 = pair_sla_cost(0.030, params)
+        c2 = pair_sla_cost(0.035, params)
+        assert c2 - c1 == pytest.approx(5.0)  # 5 ms more excess
+
+    def test_disconnection_penalty(self):
+        params = SlaParams(theta=0.025, disconnect_excess_factor=10.0)
+        cost = pair_sla_cost(float("inf"), params)
+        expected = 100.0 + 1.0 * (10.0 * 0.025 * MS_PER_S)
+        assert cost == pytest.approx(expected)
+
+
+class TestSlaOutcome:
+    def test_counts_only_demand_pairs(self):
+        delays = np.full((3, 3), 0.030)
+        np.fill_diagonal(delays, np.nan)
+        demand = np.zeros((3, 3))
+        demand[0, 1] = 1.0
+        outcome = sla_outcome(delays, demand, SlaParams())
+        assert outcome.pairs == 1
+        assert outcome.violations == 1
+        assert outcome.cost == pytest.approx(100.0 + 5.0)
+
+    def test_no_violations_zero_cost(self):
+        delays = np.full((3, 3), 0.010)
+        demand = np.ones((3, 3))
+        np.fill_diagonal(demand, 0.0)
+        outcome = sla_outcome(delays, demand, SlaParams())
+        assert outcome.cost == 0.0
+        assert outcome.violations == 0
+        assert outcome.violation_fraction == 0.0
+
+    def test_disconnected_counted(self):
+        delays = np.full((3, 3), 0.010)
+        delays[0, 1] = np.inf
+        demand = np.ones((3, 3))
+        np.fill_diagonal(demand, 0.0)
+        outcome = sla_outcome(delays, demand, SlaParams())
+        assert outcome.disconnected == 1
+        assert outcome.violations == 1
+
+    def test_nan_with_demand_rejected(self):
+        delays = np.full((3, 3), np.nan)
+        demand = np.ones((3, 3))
+        np.fill_diagonal(demand, 0.0)
+        with pytest.raises(ValueError, match="no routed delay"):
+            sla_outcome(delays, demand, SlaParams())
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shapes"):
+            sla_outcome(np.zeros((2, 2)), np.zeros((3, 3)))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(0.0, 0.2), st.floats(0.0, 0.2))
+    def test_monotone_in_delay(self, d1, d2):
+        lo, hi = sorted((d1, d2))
+        params = SlaParams()
+        assert pair_sla_cost(hi, params) >= pair_sla_cost(lo, params)
+
+
+class TestFortzCost:
+    def test_slope_one_at_low_load(self):
+        cost = fortz_link_cost(np.asarray([0.1]))
+        assert cost[0] == pytest.approx(0.1)
+
+    def test_breakpoint_continuity(self):
+        eps = 1e-9
+        for bp in FORTZ_BREAKPOINTS[1:]:
+            below = fortz_link_cost(np.asarray([bp - eps]))[0]
+            above = fortz_link_cost(np.asarray([bp + eps]))[0]
+            assert above == pytest.approx(below, rel=1e-5)
+
+    def test_escalating_slopes(self):
+        # cost derivative grows across segments
+        rhos = np.asarray([0.2, 0.5, 0.8, 0.95, 1.05, 1.2])
+        eps = 1e-6
+        slopes = (
+            fortz_link_cost(rhos + eps) - fortz_link_cost(rhos)
+        ) / eps
+        assert np.all(np.diff(slopes) > 0)
+
+    def test_expensive_above_capacity(self):
+        assert fortz_link_cost(np.asarray([1.2]))[0] > 500.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            fortz_link_cost(np.asarray([-0.1]))
+
+    def test_include_mask(self):
+        loads = np.asarray([1e8, 2e8])
+        cap = np.full(2, 5e8)
+        full = fortz_cost(loads, cap)
+        only_first = fortz_cost(loads, cap, include=np.asarray([True, False]))
+        assert only_first < full
+        assert only_first == pytest.approx(
+            fortz_link_cost(np.asarray([0.2]))[0]
+        )
+
+    def test_uncongested_bound_below_cost(self):
+        loads = np.asarray([4e8, 4.9e8])
+        cap = np.full(2, 5e8)
+        assert uncongested_bound(loads, cap) <= fortz_cost(loads, cap)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(0.0, 2.0), st.floats(0.0, 0.5))
+    def test_monotone_convex(self, rho, step):
+        f = fortz_link_cost
+        a = f(np.asarray([rho]))[0]
+        b = f(np.asarray([rho + step]))[0]
+        c = f(np.asarray([rho + 2 * step]))[0]
+        assert b >= a
+        # convexity: increments grow
+        assert (c - b) >= (b - a) - 1e-9

@@ -1,0 +1,21 @@
+"""Execution test for the (optimization-free, cheap) diversity experiment."""
+
+from repro.exp.diversity import run
+
+
+class TestDiversityExperiment:
+    def test_runs_and_reports_all_families(self):
+        result = run(preset="quick", seed=0)
+        assert result.experiment_id == "diversity"
+        assert len(result.rows) == 4
+        names = {str(row["topology"]).split("[")[0] for row in result.rows}
+        assert names == {"RandTopo", "NearTopo", "PLTopo", "ISP"}
+        for row in result.rows:
+            assert row["mean disjoint paths"] >= 1.0
+            assert row["min disjoint paths"] >= 1
+
+    def test_render(self):
+        result = run(preset="quick", seed=1)
+        text = result.render()
+        assert "diversity" in text
+        assert "RandTopo" in text

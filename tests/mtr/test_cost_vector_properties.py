@@ -1,0 +1,99 @@
+"""Property tests: the k-component lexicographic order is lawful."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lexicographic import CostPair
+from repro.mtr.cost_vector import CostVector
+
+
+def vectors(k: int):
+    return st.builds(
+        lambda vals: CostVector(tuple(vals)),
+        st.lists(
+            st.floats(0, 1e6, allow_nan=False),
+            min_size=k,
+            max_size=k,
+        ),
+    )
+
+
+class TestOrderLaws:
+    @settings(max_examples=60, deadline=None)
+    @given(a=vectors(3), b=vectors(3))
+    def test_antisymmetry(self, a, b):
+        assert not (a < b and b < a)
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=vectors(3), b=vectors(3), c=vectors(3))
+    def test_transitivity(self, a, b, c):
+        if a < b and b < c:
+            assert a < c
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=vectors(3), b=vectors(3))
+    def test_totality(self, a, b):
+        assert (a < b) or (b < a) or a.equals(b)
+
+    # CostVector applies the SLA absolute tolerance (1e-6) to every
+    # component while CostPair's phi uses a relative-only tolerance, so
+    # the two orderings agree except within 1e-6 of a tie; keep the
+    # generated magnitudes away from that boundary.
+    clear_floats = st.just(0.0) | st.floats(1e-3, 1e6)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        a=st.tuples(clear_floats, clear_floats),
+        b=st.tuples(clear_floats, clear_floats),
+    )
+    def test_two_component_matches_cost_pair(self, a, b):
+        va, vb = CostVector(a), CostVector(b)
+        pa, pb = CostPair(*a), CostPair(*b)
+        assert (va < vb) == (pa < pb)
+        assert (va > vb) == (pa > pb)
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=vectors(3), b=vectors(3), c=vectors(3))
+    def test_addition_monotone(self, a, b, c):
+        # adding the same vector to both sides preserves weak order
+        if a < b:
+            assert a + c <= b + c
+
+
+class TestImprovementLaws:
+    @settings(max_examples=40, deadline=None)
+    @given(a=vectors(3), b=vectors(3))
+    def test_improvement_nonnegative(self, a, b):
+        assert b.relative_improvement_over(a) >= 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=vectors(3))
+    def test_self_improvement_zero(self, a):
+        assert a.relative_improvement_over(a) == 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=vectors(3), b=vectors(3))
+    def test_improvement_positive_iff_better(self, a, b):
+        improvement = b.relative_improvement_over(a)
+        if b.is_better_than(a):
+            assert improvement > 0.0
+        else:
+            assert improvement == 0.0
+
+
+class TestZeroAndTotal:
+    def test_zero_is_identity(self):
+        a = CostVector((1.0, 2.0, 3.0))
+        assert (a + CostVector.zero(3)).equals(a)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        vs=st.lists(vectors(2), min_size=1, max_size=6),
+    )
+    def test_total_is_fold_of_addition(self, vs):
+        total = CostVector.total(vs)
+        manual = vs[0]
+        for v in vs[1:]:
+            manual = manual + v
+        assert total.equals(manual)

@@ -1,0 +1,126 @@
+"""Tests for arc primitives."""
+
+import numpy as np
+import pytest
+
+from repro.routing.arcs import (
+    Arc,
+    arcs_to_arrays,
+    build_adjacency,
+    pair_arcs,
+    undirected_pairs,
+    validate_arcs,
+)
+
+
+class TestArc:
+    def test_basic_fields(self):
+        arc = Arc(0, 1, 1e9, 0.005)
+        assert arc.endpoints == (0, 1)
+        assert arc.capacity == 1e9
+        assert arc.prop_delay == 0.005
+
+    def test_reversed_swaps_endpoints(self):
+        arc = Arc(2, 5, 1e8, 0.01)
+        rev = arc.reversed()
+        assert rev.endpoints == (5, 2)
+        assert rev.capacity == arc.capacity
+        assert rev.prop_delay == arc.prop_delay
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            Arc(3, 3, 1e9, 0.001)
+
+    def test_nonpositive_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            Arc(0, 1, 0.0, 0.001)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError, match="delay"):
+            Arc(0, 1, 1e9, -0.001)
+
+
+class TestArcsToArrays:
+    def test_round_trip_values(self):
+        arcs = [Arc(0, 1, 1e9, 0.001), Arc(1, 2, 2e9, 0.002)]
+        src, dst, cap, delay = arcs_to_arrays(arcs)
+        assert src.tolist() == [0, 1]
+        assert dst.tolist() == [1, 2]
+        assert cap.tolist() == [1e9, 2e9]
+        assert delay.tolist() == [0.001, 0.002]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one arc"):
+            arcs_to_arrays([])
+
+
+class TestPairArcs:
+    def test_bidirectional_pairing(self):
+        arcs = [Arc(0, 1, 1e9, 0.001), Arc(1, 0, 1e9, 0.001)]
+        rev = pair_arcs(arcs)
+        assert rev.tolist() == [1, 0]
+
+    def test_one_way_arc_gets_minus_one(self):
+        arcs = [Arc(0, 1, 1e9, 0.001), Arc(1, 2, 1e9, 0.001)]
+        rev = pair_arcs(arcs)
+        assert rev.tolist() == [-1, -1]
+
+    def test_parallel_arcs_rejected(self):
+        arcs = [Arc(0, 1, 1e9, 0.001), Arc(0, 1, 2e9, 0.002)]
+        with pytest.raises(ValueError, match="parallel"):
+            pair_arcs(arcs)
+
+
+class TestUndirectedPairs:
+    def test_pairs_and_singletons(self):
+        arcs = [
+            Arc(0, 1, 1e9, 0.001),
+            Arc(1, 0, 1e9, 0.001),
+            Arc(1, 2, 1e9, 0.001),
+        ]
+        groups = undirected_pairs(arcs)
+        assert (0, 1) in groups
+        assert (2,) in groups
+
+    def test_groups_cover_all_arcs_once(self):
+        arcs = [
+            Arc(0, 1, 1e9, 0.001),
+            Arc(1, 0, 1e9, 0.001),
+            Arc(2, 0, 1e9, 0.001),
+            Arc(0, 2, 1e9, 0.001),
+        ]
+        groups = undirected_pairs(arcs)
+        flat = [a for g in groups for a in g]
+        assert sorted(flat) == [0, 1, 2, 3]
+
+
+class TestBuildAdjacency:
+    def test_out_and_in_lists(self):
+        src = np.asarray([0, 1, 1])
+        dst = np.asarray([1, 0, 2])
+        out_arcs, in_arcs = build_adjacency(3, src, dst)
+        assert out_arcs[0].tolist() == [0]
+        assert out_arcs[1].tolist() == [1, 2]
+        assert in_arcs[2].tolist() == [2]
+        assert in_arcs[0].tolist() == [1]
+
+    def test_isolated_node_has_empty_lists(self):
+        out_arcs, in_arcs = build_adjacency(
+            3, np.asarray([0]), np.asarray([1])
+        )
+        assert out_arcs[2].size == 0
+        assert in_arcs[2].size == 0
+
+
+class TestValidateArcs:
+    def test_out_of_range_endpoint(self):
+        with pytest.raises(ValueError, match="outside"):
+            validate_arcs(2, [Arc(0, 2, 1e9, 0.001)])
+
+    def test_duplicate_arc(self):
+        arcs = [Arc(0, 1, 1e9, 0.001), Arc(0, 1, 1e9, 0.002)]
+        with pytest.raises(ValueError, match="duplicate"):
+            validate_arcs(2, arcs)
+
+    def test_valid_arcs_pass(self):
+        validate_arcs(3, [Arc(0, 1, 1e9, 0.001), Arc(1, 0, 1e9, 0.001)])

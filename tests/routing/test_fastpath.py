@@ -1,0 +1,110 @@
+"""Property tests pinning the fast propagation kernels to the reference.
+
+The engine's pure-Python kernels must agree exactly (up to float noise)
+with the numpy reference implementations in ``repro.routing.loader`` on
+random graphs, weights, and demands.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.routing.fastpath import (
+    PropagationPlan,
+    all_destination_masks,
+    fast_propagate_loads,
+    fast_propagate_mean_delay,
+    fast_propagate_worst_delay,
+)
+from repro.routing.loader import (
+    propagate_loads,
+    propagate_mean_delay,
+    propagate_worst_delay,
+)
+from repro.routing.spf import distance_matrix, shortest_arc_mask
+from repro.topology import rand_topology
+
+
+@st.composite
+def routing_cases(draw):
+    """Random (network, weights, demands, destination) cases."""
+    seed = draw(st.integers(0, 2**31 - 1))
+    num_nodes = draw(st.integers(8, 14))
+    degree = draw(st.sampled_from([3.0, 4.0, 5.0]))
+    gen = np.random.default_rng(seed)
+    network = rand_topology(num_nodes, degree, gen, two_edge_connected=False)
+    weights = gen.integers(1, 12, network.num_arcs).astype(float)
+    demands = gen.uniform(0.0, 10.0, size=(num_nodes, num_nodes))
+    np.fill_diagonal(demands, 0.0)
+    t = draw(st.integers(0, num_nodes - 1))
+    return network, weights, demands, t
+
+
+@settings(max_examples=40, deadline=None)
+@given(case=routing_cases())
+def test_fast_loads_match_reference(case):
+    network, weights, demands, t = case
+    dist = distance_matrix(network, weights)
+    mask = shortest_arc_mask(network, weights, dist[:, t])
+
+    ref_loads = np.zeros(network.num_arcs)
+    ref_lost = propagate_loads(
+        network, mask, dist[:, t], demands[:, t], t, ref_loads
+    )
+
+    plan = PropagationPlan.for_network(network)
+    fast_loads = [0.0] * network.num_arcs
+    fast_lost = fast_propagate_loads(
+        plan, mask, dist[:, t], demands[:, t], t, fast_loads
+    )
+    np.testing.assert_allclose(fast_loads, ref_loads, rtol=1e-12, atol=1e-9)
+    assert fast_lost == pytest.approx(ref_lost, abs=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(case=routing_cases())
+def test_fast_delays_match_reference(case):
+    network, weights, demands, t = case
+    del demands
+    dist = distance_matrix(network, weights)
+    mask = shortest_arc_mask(network, weights, dist[:, t])
+    gen = np.random.default_rng(network.num_arcs)
+    arc_delays = gen.uniform(0.001, 0.02, network.num_arcs)
+
+    plan = PropagationPlan.for_network(network)
+    ref_worst = propagate_worst_delay(
+        network, mask, dist[:, t], arc_delays, t
+    )
+    fast_worst = fast_propagate_worst_delay(
+        plan, mask, dist[:, t], arc_delays.tolist(), t
+    )
+    np.testing.assert_allclose(fast_worst, ref_worst, rtol=1e-12)
+
+    ref_mean = propagate_mean_delay(network, mask, dist[:, t], arc_delays, t)
+    fast_mean = fast_propagate_mean_delay(
+        plan, mask, dist[:, t], arc_delays.tolist(), t
+    )
+    np.testing.assert_allclose(fast_mean, ref_mean, rtol=1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(case=routing_cases())
+def test_vectorized_masks_match_per_destination(case):
+    network, weights, demands, _ = case
+    dist = distance_matrix(network, weights)
+    destinations = np.flatnonzero(demands.sum(axis=0) > 0)
+    masks = all_destination_masks(network, weights, dist, None, destinations)
+    for row, t in enumerate(destinations):
+        expected = shortest_arc_mask(network, weights, dist[:, t])
+        np.testing.assert_array_equal(masks[row], expected)
+
+
+def test_plan_matches_network(square_network):
+    plan = PropagationPlan.for_network(square_network)
+    assert len(plan.out_arcs) == square_network.num_nodes
+    assert list(plan.arc_dst) == square_network.arc_dst.tolist()
+    for node in range(square_network.num_nodes):
+        assert list(plan.out_arcs[node]) == (
+            square_network.out_arcs[node].tolist()
+        )

@@ -1,0 +1,116 @@
+"""Network-level property tests: invariants of the routing substrate.
+
+These hold for *any* topology, weight setting and demand matrix:
+
+* flow conservation: demand delivered to each destination equals demand
+  sourced minus disconnected volume;
+* load positivity and boundedness: total arc load never exceeds total
+  demand volume;
+* path delays dominate propagation-only delays;
+* removing a non-used arc never changes loads (the evaluator shortcut's
+  foundation).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.routing.engine import RoutingEngine
+from repro.routing.failures import FailureScenario
+from repro.topology import rand_topology
+
+
+@st.composite
+def engine_cases(draw):
+    seed = draw(st.integers(0, 2**31 - 1))
+    num_nodes = draw(st.integers(8, 14))
+    gen = np.random.default_rng(seed)
+    network = rand_topology(num_nodes, 4.0, gen, two_edge_connected=False)
+    weights = gen.integers(1, 15, network.num_arcs).astype(float)
+    demands = gen.uniform(0.0, 5.0, size=(num_nodes, num_nodes))
+    np.fill_diagonal(demands, 0.0)
+    # sparsify some demands so zero-demand destinations occur
+    mask = gen.uniform(size=demands.shape) < 0.3
+    demands[mask] = 0.0
+    return network, weights, demands
+
+
+@settings(max_examples=25, deadline=None)
+@given(case=engine_cases())
+def test_flow_conservation_per_destination(case):
+    network, weights, demands = case
+    engine = RoutingEngine(network)
+    routing = engine.route_class(weights, demands)
+    if routing.undelivered > 0:
+        # disconnected sources make per-node accounting ambiguous
+        return
+    # per-node conservation on aggregated loads: net inflow equals
+    # demand terminating at the node minus demand it originates
+    for node in range(network.num_nodes):
+        inflow = routing.loads[network.in_arcs[node]].sum()
+        outflow = routing.loads[network.out_arcs[node]].sum()
+        terminated = demands[:, node].sum()
+        sourced = demands[node, :].sum()
+        assert inflow - outflow == pytest.approx(
+            terminated - sourced, rel=1e-9, abs=1e-6
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(case=engine_cases())
+def test_loads_bounded_by_demand_times_hops(case):
+    network, weights, demands = case
+    engine = RoutingEngine(network)
+    routing = engine.route_class(weights, demands)
+    assert np.all(routing.loads >= -1e-12)
+    # any single arc can carry at most the total demand volume
+    assert routing.loads.max() <= demands.sum() + 1e-6
+
+
+@settings(max_examples=20, deadline=None)
+@given(case=engine_cases())
+def test_path_delay_dominates_propagation(case):
+    network, weights, demands = case
+    engine = RoutingEngine(network)
+    routing = engine.route_class(weights, demands)
+    prop = engine.path_delays(routing, network.prop_delay, mode="worst")
+    # any arc-delay vector >= propagation gives >= path delays
+    inflated = engine.path_delays(
+        routing, network.prop_delay + 0.001, mode="worst"
+    )
+    mask = ~np.isnan(prop) & np.isfinite(prop)
+    assert np.all(inflated[mask] >= prop[mask])
+
+
+@settings(max_examples=20, deadline=None)
+@given(case=engine_cases())
+def test_unused_arc_failure_changes_nothing(case):
+    network, weights, demands = case
+    engine = RoutingEngine(network)
+    routing = engine.route_class(weights, demands)
+    if routing.masks.shape[0] == 0:
+        return
+    used = routing.masks.any(axis=0)
+    unused = np.flatnonzero(~used)
+    if unused.size == 0:
+        return
+    arc = int(unused[0])
+    scenario = FailureScenario(failed_arcs=(arc,), label="unused")
+    rerouted = engine.route_class(weights, demands, scenario)
+    np.testing.assert_allclose(
+        rerouted.loads, routing.loads, rtol=1e-12, atol=1e-9
+    )
+    assert rerouted.undelivered == pytest.approx(routing.undelivered)
+
+
+@settings(max_examples=15, deadline=None)
+@given(case=engine_cases(), scale=st.floats(0.1, 10.0))
+def test_loads_linear_in_demand(case, scale):
+    network, weights, demands = case
+    engine = RoutingEngine(network)
+    base = engine.route_class(weights, demands)
+    scaled = engine.route_class(weights, demands * scale)
+    np.testing.assert_allclose(
+        scaled.loads, base.loads * scale, rtol=1e-9, atol=1e-9
+    )

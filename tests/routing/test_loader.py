@@ -1,0 +1,141 @@
+"""Tests for ECMP load and delay propagation (reference implementations)."""
+
+import numpy as np
+import pytest
+
+from repro.routing.loader import (
+    max_arc_value_on_paths,
+    propagate_loads,
+    propagate_mean_delay,
+    propagate_worst_delay,
+)
+from repro.routing.spf import distance_matrix, shortest_arc_mask
+
+
+def dag_for(network, weights, t, disabled=None):
+    dist = distance_matrix(network, weights, disabled)
+    mask = shortest_arc_mask(network, weights, dist[:, t], disabled)
+    return dist[:, t], mask
+
+
+class TestPropagateLoads:
+    def test_single_path_load(self, square_network):
+        weights = np.ones(square_network.num_arcs)
+        weights[square_network.arc_id(0, 2)] = 10
+        weights[square_network.arc_id(2, 0)] = 10
+        dist_t, mask = dag_for(square_network, weights, 2)
+        demand = np.zeros(4)
+        demand[0] = 8.0
+        loads = np.zeros(square_network.num_arcs)
+        lost = propagate_loads(square_network, mask, dist_t, demand, 2, loads)
+        assert lost == 0.0
+        # 0 -> 2 now splits over 0-1-2 and 0-3-2 (both length 2)
+        assert loads[square_network.arc_id(0, 1)] == pytest.approx(4.0)
+        assert loads[square_network.arc_id(0, 3)] == pytest.approx(4.0)
+        assert loads[square_network.arc_id(1, 2)] == pytest.approx(4.0)
+        assert loads[square_network.arc_id(3, 2)] == pytest.approx(4.0)
+
+    def test_ecmp_even_split(self, square_network):
+        weights = np.ones(square_network.num_arcs)
+        dist_t, mask = dag_for(square_network, weights, 3)
+        demand = np.zeros(4)
+        demand[1] = 6.0
+        loads = np.zeros(square_network.num_arcs)
+        propagate_loads(square_network, mask, dist_t, demand, 3, loads)
+        assert loads[square_network.arc_id(1, 0)] == pytest.approx(3.0)
+        assert loads[square_network.arc_id(1, 2)] == pytest.approx(3.0)
+
+    def test_flow_conservation(self, square_network, rng):
+        weights = rng.integers(1, 10, square_network.num_arcs).astype(float)
+        t = 2
+        dist_t, mask = dag_for(square_network, weights, t)
+        demand = rng.uniform(0, 5, 4)
+        demand[t] = 0.0
+        loads = np.zeros(square_network.num_arcs)
+        lost = propagate_loads(
+            square_network, mask, dist_t, demand, t, loads
+        )
+        # everything that was sent arrives at t
+        into_t = loads[square_network.in_arcs[t]].sum()
+        out_of_t = loads[square_network.out_arcs[t]].sum()
+        assert into_t - out_of_t == pytest.approx(demand.sum() - lost)
+
+    def test_disconnected_demand_counted(self, square_network):
+        weights = np.ones(square_network.num_arcs)
+        disabled = np.zeros(square_network.num_arcs, dtype=bool)
+        for u, v in [(2, 3), (3, 2), (3, 0), (0, 3)]:
+            disabled[square_network.arc_id(u, v)] = True
+        dist_t, mask = dag_for(square_network, weights, 3, disabled)
+        demand = np.zeros(4)
+        demand[0] = 5.0
+        loads = np.zeros(square_network.num_arcs)
+        lost = propagate_loads(
+            square_network, mask, dist_t, demand, 3, loads
+        )
+        assert lost == pytest.approx(5.0)
+        assert loads.sum() == 0.0
+
+
+class TestDelayPropagation:
+    def test_worst_delay_single_path(self, square_network):
+        weights = np.ones(square_network.num_arcs)
+        dist_t, mask = dag_for(square_network, weights, 3)
+        arc_delays = np.full(square_network.num_arcs, 0.002)
+        delay = propagate_worst_delay(
+            square_network, mask, dist_t, arc_delays, 3
+        )
+        assert delay[3] == 0.0
+        assert delay[0] == pytest.approx(0.002)
+        assert delay[1] == pytest.approx(0.004)
+
+    def test_worst_takes_max_over_ecmp(self, square_network):
+        weights = np.ones(square_network.num_arcs)
+        dist_t, mask = dag_for(square_network, weights, 3)
+        arc_delays = np.full(square_network.num_arcs, 0.001)
+        # make the 1 -> 2 -> 3 branch slower
+        arc_delays[square_network.arc_id(1, 2)] = 0.010
+        delay = propagate_worst_delay(
+            square_network, mask, dist_t, arc_delays, 3
+        )
+        assert delay[1] == pytest.approx(0.011)
+
+    def test_mean_is_between_min_and_max(self, square_network, rng):
+        weights = np.ones(square_network.num_arcs)
+        dist_t, mask = dag_for(square_network, weights, 3)
+        arc_delays = rng.uniform(0.001, 0.01, square_network.num_arcs)
+        worst = propagate_worst_delay(
+            square_network, mask, dist_t, arc_delays, 3
+        )
+        mean = propagate_mean_delay(
+            square_network, mask, dist_t, arc_delays, 3
+        )
+        for node in range(4):
+            if np.isfinite(worst[node]):
+                assert mean[node] <= worst[node] + 1e-12
+
+    def test_disconnected_node_inf(self, square_network):
+        weights = np.ones(square_network.num_arcs)
+        disabled = np.zeros(square_network.num_arcs, dtype=bool)
+        for u, v in [(2, 3), (3, 2), (3, 0), (0, 3)]:
+            disabled[square_network.arc_id(u, v)] = True
+        dist_t, mask = dag_for(square_network, weights, 3, disabled)
+        arc_delays = np.full(square_network.num_arcs, 0.001)
+        delay = propagate_worst_delay(
+            square_network, mask, dist_t, arc_delays, 3
+        )
+        assert np.isinf(delay[0])
+
+
+class TestMaxArcValueOnPaths:
+    def test_picks_max_utilization_on_path(self, square_network):
+        weights = np.ones(square_network.num_arcs)
+        dist_t, mask = dag_for(square_network, weights, 3)
+        values = np.zeros(square_network.num_arcs)
+        values[square_network.arc_id(0, 3)] = 0.9
+        values[square_network.arc_id(1, 0)] = 0.1
+        worst = max_arc_value_on_paths(
+            square_network, mask, dist_t, values, 3
+        )
+        assert worst[0] == pytest.approx(0.9)
+        # node 1 reaches 3 via 0 (max 0.9) or via 2 (max 0.0) -> worst is 0.9
+        assert worst[1] == pytest.approx(0.9)

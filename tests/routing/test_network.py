@@ -1,0 +1,118 @@
+"""Tests for the Network model."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.routing.arcs import Arc
+from repro.routing.network import Network
+
+
+def line_network() -> Network:
+    """0 <-> 1 <-> 2 line."""
+    arcs = []
+    for u, v in [(0, 1), (1, 2)]:
+        arcs.append(Arc(u, v, 1e9, 0.001))
+        arcs.append(Arc(v, u, 1e9, 0.001))
+    return Network(3, arcs, name="line")
+
+
+class TestNetworkBasics:
+    def test_counts(self, square_network):
+        assert square_network.num_nodes == 4
+        assert square_network.num_arcs == 10
+        assert square_network.num_links == 5
+
+    def test_mean_degree(self, square_network):
+        assert square_network.mean_degree == pytest.approx(2.5)
+
+    def test_arc_id_lookup(self, square_network):
+        arc_id = square_network.arc_id(0, 1)
+        assert square_network.arcs[arc_id].endpoints == (0, 1)
+
+    def test_arc_id_missing_raises(self, square_network):
+        with pytest.raises(KeyError):
+            square_network.arc_id(1, 3)
+
+    def test_has_arc(self, square_network):
+        assert square_network.has_arc(0, 2)
+        assert not square_network.has_arc(1, 3)
+
+    def test_reverse_arc_mapping(self, square_network):
+        for arc_id in range(square_network.num_arcs):
+            rev = int(square_network.reverse_arc[arc_id])
+            assert rev >= 0
+            a, b = square_network.arcs[arc_id].endpoints
+            assert square_network.arcs[rev].endpoints == (b, a)
+
+    def test_arcs_of_node(self, square_network):
+        incident = square_network.arcs_of_node(0)
+        endpoints = {square_network.arcs[int(a)].endpoints for a in incident}
+        # node 0 touches 1, 2 (diagonal) and 3
+        assert all(0 in e for e in endpoints)
+        assert len(incident) == 6
+
+    def test_too_few_nodes_rejected(self):
+        with pytest.raises(ValueError, match="two nodes"):
+            Network(1, [])
+
+    def test_positions_shape_checked(self):
+        arcs = [Arc(0, 1, 1e9, 0.001), Arc(1, 0, 1e9, 0.001)]
+        with pytest.raises(ValueError, match="positions"):
+            Network(2, arcs, positions=np.zeros((3, 2)))
+
+
+class TestNetworkConversions:
+    def test_to_networkx_attrs(self, square_network):
+        graph = square_network.to_networkx()
+        assert graph.number_of_edges() == square_network.num_arcs
+        assert graph[0][1]["capacity"] == 100e6
+
+    def test_from_networkx_undirected(self):
+        graph = nx.cycle_graph(4)
+        net = Network.from_networkx(graph, capacity=1e9, prop_delay=0.002)
+        assert net.num_arcs == 8
+        assert np.all(net.capacity == 1e9)
+
+    def test_from_networkx_attribute_priority(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1, capacity=5e8, prop_delay=0.004)
+        graph.add_edge(1, 2)
+        net = Network.from_networkx(graph, capacity=1e9, prop_delay=0.001)
+        assert net.capacity[net.arc_id(0, 1)] == 5e8
+        assert net.capacity[net.arc_id(1, 2)] == 1e9
+
+    def test_round_trip(self, square_network):
+        back = Network.from_networkx(square_network.to_networkx())
+        assert back.num_nodes == square_network.num_nodes
+        assert back.num_arcs == square_network.num_arcs
+
+
+class TestNetworkStructure:
+    def test_strong_connectivity(self, square_network):
+        assert square_network.is_strongly_connected()
+
+    def test_line_survives_nothing(self):
+        net = line_network()
+        assert not net.survives_arc_failures([net.arc_id(0, 1)])
+
+    def test_square_survives_single_link(self, square_network):
+        pair = square_network.link_groups[0]
+        assert square_network.survives_arc_failures(list(pair))
+
+    def test_with_prop_delays(self, square_network):
+        new = square_network.with_prop_delays(
+            np.full(square_network.num_arcs, 0.42)
+        )
+        assert np.all(new.prop_delay == 0.42)
+        assert new.num_arcs == square_network.num_arcs
+
+    def test_with_capacities(self, square_network):
+        new = square_network.with_capacities(
+            np.full(square_network.num_arcs, 7e7)
+        )
+        assert np.all(new.capacity == 7e7)
+
+    def test_with_prop_delays_shape_checked(self, square_network):
+        with pytest.raises(ValueError, match="per arc"):
+            square_network.with_prop_delays(np.ones(3))

@@ -1,0 +1,121 @@
+"""Tests for shortest-path computations."""
+
+import numpy as np
+import pytest
+
+from repro.routing.spf import (
+    distance_matrix,
+    extract_one_path,
+    path_counts,
+    shortest_arc_mask,
+)
+
+
+def uniform_weights(network) -> np.ndarray:
+    return np.ones(network.num_arcs)
+
+
+class TestDistanceMatrix:
+    def test_hop_counts_on_square(self, square_network):
+        dist = distance_matrix(square_network, uniform_weights(square_network))
+        assert dist[0, 0] == 0
+        assert dist[0, 1] == 1
+        assert dist[0, 2] == 1  # via diagonal
+        assert dist[1, 3] == 2
+
+    def test_weighted_shortest_path(self, square_network):
+        weights = uniform_weights(square_network)
+        diag = square_network.arc_id(0, 2)
+        weights[diag] = 5  # make the diagonal unattractive
+        dist = distance_matrix(square_network, weights)
+        assert dist[0, 2] == 2  # now around the ring
+
+    def test_disabled_arcs_excluded(self, square_network):
+        weights = uniform_weights(square_network)
+        disabled = np.zeros(square_network.num_arcs, dtype=bool)
+        disabled[square_network.arc_id(0, 1)] = True
+        dist = distance_matrix(square_network, weights, disabled)
+        assert dist[0, 1] == 2  # 0 -> 2 -> 1 via diagonal
+
+    def test_disconnection_is_inf(self, square_network):
+        weights = uniform_weights(square_network)
+        disabled = np.zeros(square_network.num_arcs, dtype=bool)
+        # node 3 only connects via 2-3 and 3-0
+        for u, v in [(2, 3), (3, 2), (3, 0), (0, 3)]:
+            disabled[square_network.arc_id(u, v)] = True
+        dist = distance_matrix(square_network, weights, disabled)
+        assert np.isinf(dist[0, 3])
+        assert np.isinf(dist[3, 0])
+
+    def test_weight_below_one_rejected(self, square_network):
+        weights = uniform_weights(square_network)
+        weights[0] = 0.5
+        with pytest.raises(ValueError, match=">= 1"):
+            distance_matrix(square_network, weights)
+
+    def test_wrong_shape_rejected(self, square_network):
+        with pytest.raises(ValueError, match="one entry per arc"):
+            distance_matrix(square_network, np.ones(3))
+
+
+class TestShortestArcMask:
+    def test_ecmp_ties_both_on_dag(self, square_network):
+        # With unit weights, 1 -> 3 has two shortest paths (via 0 and 2).
+        weights = uniform_weights(square_network)
+        dist = distance_matrix(square_network, weights)
+        mask = shortest_arc_mask(square_network, weights, dist[:, 3])
+        assert mask[square_network.arc_id(1, 0)]
+        assert mask[square_network.arc_id(1, 2)]
+        assert mask[square_network.arc_id(0, 3)]
+        assert mask[square_network.arc_id(2, 3)]
+
+    def test_non_shortest_arc_excluded(self, square_network):
+        weights = uniform_weights(square_network)
+        dist = distance_matrix(square_network, weights)
+        mask = shortest_arc_mask(square_network, weights, dist[:, 1])
+        # going 3 -> 2 -> 1 and 3 -> 0 -> 1 are both shortest; 2 -> 3 is not
+        assert not mask[square_network.arc_id(2, 3)]
+
+    def test_disabled_arc_never_on_dag(self, square_network):
+        weights = uniform_weights(square_network)
+        disabled = np.zeros(square_network.num_arcs, dtype=bool)
+        disabled[square_network.arc_id(0, 1)] = True
+        dist = distance_matrix(square_network, weights, disabled)
+        mask = shortest_arc_mask(
+            square_network, weights, dist[:, 1], disabled
+        )
+        assert not mask[square_network.arc_id(0, 1)]
+
+
+class TestPathCounts:
+    def test_two_ecmp_paths(self, square_network):
+        weights = uniform_weights(square_network)
+        dist = distance_matrix(square_network, weights)
+        mask = shortest_arc_mask(square_network, weights, dist[:, 3])
+        counts = path_counts(square_network, mask, dist[:, 3], 3)
+        assert counts[1] == 2  # via 0 and via 2
+        assert counts[0] == 1
+        assert counts[3] == 1
+
+
+class TestExtractOnePath:
+    def test_simple_path(self, square_network):
+        weights = uniform_weights(square_network)
+        dist = distance_matrix(square_network, weights)
+        mask = shortest_arc_mask(square_network, weights, dist[:, 3])
+        path = extract_one_path(square_network, mask, dist[:, 3], 1, 3)
+        assert path[0] == 1
+        assert path[-1] == 3
+        assert len(path) == 3
+
+    def test_unreachable_raises(self, square_network):
+        weights = uniform_weights(square_network)
+        disabled = np.zeros(square_network.num_arcs, dtype=bool)
+        for u, v in [(2, 3), (3, 2), (3, 0), (0, 3)]:
+            disabled[square_network.arc_id(u, v)] = True
+        dist = distance_matrix(square_network, weights, disabled)
+        mask = shortest_arc_mask(
+            square_network, weights, dist[:, 3], disabled
+        )
+        with pytest.raises(ValueError, match="cannot reach"):
+            extract_one_path(square_network, mask, dist[:, 3], 0, 3)

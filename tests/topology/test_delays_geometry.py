@@ -1,0 +1,101 @@
+"""Tests for delay scaling and geometric helpers."""
+
+import numpy as np
+import pytest
+
+from repro.topology.delays import (
+    delays_in_range,
+    propagation_diameter,
+    propagation_distance_matrix,
+    scale_to_diameter,
+    scale_to_fraction_of_bound,
+)
+from repro.topology.geometry import (
+    FIBER_SPEED_KM_PER_S,
+    edge_lengths,
+    euclidean_distances,
+    geographic_delay_s,
+    haversine_km,
+    uniform_positions,
+)
+from repro.topology import rand_topology
+
+
+class TestGeometry:
+    def test_uniform_positions_shape(self, rng):
+        pos = uniform_positions(7, rng)
+        assert pos.shape == (7, 2)
+        assert np.all((pos >= 0) & (pos <= 1))
+
+    def test_euclidean_symmetry(self, rng):
+        pos = uniform_positions(6, rng)
+        dist = euclidean_distances(pos)
+        np.testing.assert_allclose(dist, dist.T)
+        assert np.all(np.diag(dist) == 0)
+
+    def test_haversine_known_distance(self):
+        # New York to Los Angeles is roughly 3940 km
+        d = haversine_km(40.71, -74.01, 34.05, -118.24)
+        assert 3800 < d < 4100
+
+    def test_haversine_zero(self):
+        assert haversine_km(42.0, -71.0, 42.0, -71.0) == pytest.approx(0.0)
+
+    def test_geographic_delay(self):
+        assert geographic_delay_s(FIBER_SPEED_KM_PER_S) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            geographic_delay_s(-1.0)
+
+    def test_edge_lengths(self):
+        pos = np.asarray([[0.0, 0.0], [3.0, 4.0]])
+        lengths = edge_lengths(pos, [(0, 1)])
+        assert lengths[0] == pytest.approx(5.0)
+
+
+class TestDelaysInRange:
+    def test_maps_to_interval(self, rng):
+        lengths = rng.uniform(0, 2, 50)
+        delays = delays_in_range(lengths, 0.005, 0.020)
+        assert delays.min() == pytest.approx(0.005)
+        assert delays.max() == pytest.approx(0.020)
+
+    def test_monotone(self, rng):
+        lengths = np.sort(rng.uniform(0, 2, 20))
+        delays = delays_in_range(lengths)
+        assert np.all(np.diff(delays) >= 0)
+
+    def test_degenerate_input(self):
+        delays = delays_in_range(np.full(5, 1.0), 0.004, 0.010)
+        np.testing.assert_allclose(delays, 0.007)
+
+    def test_bad_interval(self):
+        with pytest.raises(ValueError):
+            delays_in_range(np.ones(3), 0.02, 0.01)
+
+
+class TestDiameterScaling:
+    def test_scale_to_diameter(self, rng):
+        net = rand_topology(15, 4.0, rng)
+        scaled = scale_to_diameter(net, 0.025)
+        assert propagation_diameter(scaled) == pytest.approx(0.025)
+
+    def test_scaling_preserves_ratios(self, rng):
+        net = rand_topology(15, 4.0, rng)
+        scaled = scale_to_diameter(net, 0.05)
+        ratio = scaled.prop_delay / net.prop_delay
+        np.testing.assert_allclose(ratio, ratio[0])
+
+    def test_fraction_of_bound(self, rng):
+        net = rand_topology(15, 4.0, rng)
+        scaled = scale_to_fraction_of_bound(net, 0.025, 0.8)
+        assert propagation_diameter(scaled) == pytest.approx(0.02)
+
+    def test_distance_matrix_diagonal_zero(self, rng):
+        net = rand_topology(10, 4.0, rng)
+        dist = propagation_distance_matrix(net)
+        assert np.all(np.diag(dist) == 0)
+
+    def test_invalid_target(self, rng):
+        net = rand_topology(10, 4.0, rng)
+        with pytest.raises(ValueError):
+            scale_to_diameter(net, 0.0)

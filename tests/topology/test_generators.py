@@ -1,0 +1,151 @@
+"""Tests for the four topology generators."""
+
+import numpy as np
+import pytest
+
+from repro.topology import (
+    isp_topology,
+    near_topology,
+    powerlaw_topology,
+    rand_topology,
+)
+from repro.topology.isp import ISP_CITIES, ISP_LINKS, isp_city_names
+from repro.topology.near import knn_edges
+from repro.topology.powerlaw import barabasi_albert_edges
+from repro.topology.rand import random_spanning_tree_edges
+
+
+class TestRandTopo:
+    def test_target_size(self, rng):
+        net = rand_topology(30, 6.0, rng, two_edge_connected=False)
+        assert net.num_nodes == 30
+        assert net.num_arcs == 180
+
+    def test_strongly_connected(self, rng):
+        net = rand_topology(20, 4.0, rng)
+        assert net.is_strongly_connected()
+
+    def test_two_edge_connected_survives_any_link(self, rng):
+        net = rand_topology(15, 4.0, rng, two_edge_connected=True)
+        for group in net.link_groups:
+            assert net.survives_arc_failures(list(group))
+
+    def test_deterministic_under_seed(self):
+        net1 = rand_topology(12, 4.0, np.random.default_rng(5))
+        net2 = rand_topology(12, 4.0, np.random.default_rng(5))
+        assert [a.endpoints for a in net1.arcs] == [
+            a.endpoints for a in net2.arcs
+        ]
+
+    def test_positions_in_unit_square(self, rng):
+        net = rand_topology(12, 4.0, rng)
+        assert net.positions is not None
+        assert np.all((net.positions >= 0) & (net.positions <= 1))
+
+    def test_spanning_tree_connects(self, rng):
+        edges = random_spanning_tree_edges(10, rng)
+        assert len(edges) == 9
+        import networkx as nx
+
+        graph = nx.Graph(edges)
+        graph.add_nodes_from(range(10))
+        assert nx.is_connected(graph)
+
+
+class TestNearTopo:
+    def test_size_close_to_target(self, rng):
+        net = near_topology(30, 6.0, rng)
+        # trimming protects bridges, so a small overshoot is possible
+        assert abs(net.num_arcs - 180) <= 12
+
+    def test_connected(self, rng):
+        net = near_topology(20, 5.0, rng)
+        assert net.is_strongly_connected()
+
+    def test_knn_edges_are_local(self, rng):
+        positions = rng.uniform(0, 1, size=(20, 2))
+        edges = knn_edges(positions, 2)
+        # every node appears in at least 2 edges (its own k-NN)
+        degrees = np.zeros(20, dtype=int)
+        for u, v in edges:
+            degrees[u] += 1
+            degrees[v] += 1
+        assert degrees.min() >= 2
+
+    def test_knn_k_bounds(self, rng):
+        positions = rng.uniform(0, 1, size=(5, 2))
+        with pytest.raises(ValueError, match="1 <= k"):
+            knn_edges(positions, 5)
+
+    def test_longer_paths_than_rand(self):
+        """NearTopo's locality should give longer hop paths than RandTopo."""
+        import networkx as nx
+
+        gen = np.random.default_rng(3)
+        near = near_topology(30, 6.0, gen, two_edge_connected=False)
+        gen = np.random.default_rng(3)
+        rand = rand_topology(30, 6.0, gen, two_edge_connected=False)
+        near_len = nx.average_shortest_path_length(
+            near.to_networkx().to_undirected()
+        )
+        rand_len = nx.average_shortest_path_length(
+            rand.to_networkx().to_undirected()
+        )
+        assert near_len > rand_len
+
+
+class TestPLTopo:
+    def test_ba_edge_count(self, rng):
+        edges = barabasi_albert_edges(30, 3, rng)
+        # clique on 4 seeds (6 edges) + 3 per remaining 26 nodes
+        assert len(edges) == 6 + 3 * 26
+
+    def test_paper_size(self, rng):
+        net = powerlaw_topology(30, 3, rng, two_edge_connected=False)
+        # 162 arcs in the paper (81 edges); the seed clique adds 3 extra
+        assert net.num_arcs == 168
+
+    def test_degree_skew(self, rng):
+        net = powerlaw_topology(50, 2, rng, two_edge_connected=False)
+        degrees = np.asarray([net.degree(v) for v in range(50)])
+        # power-law graphs have hubs: max degree much larger than median
+        assert degrees.max() >= 3 * np.median(degrees)
+
+    def test_attachment_bounds(self, rng):
+        with pytest.raises(ValueError, match="attachments"):
+            barabasi_albert_edges(5, 5, rng)
+
+    def test_connected(self, rng):
+        net = powerlaw_topology(25, 3, rng)
+        assert net.is_strongly_connected()
+
+
+class TestIspTopology:
+    def test_paper_dimensions(self):
+        net = isp_topology()
+        assert net.num_nodes == 16
+        assert net.num_arcs == 70
+        assert net.num_links == 35
+
+    def test_matches_link_table(self):
+        assert len(ISP_LINKS) == 35
+        assert len(ISP_CITIES) == 16
+        assert len(isp_city_names()) == 16
+
+    def test_strongly_connected(self):
+        assert isp_topology().is_strongly_connected()
+
+    def test_survives_single_link_failures(self):
+        net = isp_topology()
+        for group in net.link_groups:
+            assert net.survives_arc_failures(list(group))
+
+    def test_geographic_delays_plausible(self):
+        net = isp_topology()
+        # spans from regional (~1 ms) to coast-to-coast (~20 ms)
+        assert net.prop_delay.min() > 0.0005
+        assert net.prop_delay.max() < 0.025
+
+    def test_custom_capacity(self):
+        net = isp_topology(capacity=1e9)
+        assert np.all(net.capacity == 1e9)

@@ -1,0 +1,70 @@
+"""Tests for congested-link capacity resizing (Section V-B)."""
+
+import numpy as np
+import pytest
+
+from repro.topology.resizing import resize_congested_links
+
+
+class TestResizeCongestedLinks:
+    def test_noop_when_uncongested(self, square_network):
+        loads = np.full(square_network.num_arcs, 10e6)  # 10% of 100 Mbps
+        resized, report = resize_congested_links(square_network, loads)
+        assert report.num_resized == 0
+        np.testing.assert_array_equal(
+            resized.capacity, square_network.capacity
+        )
+
+    def test_brings_utilization_to_target(self, square_network):
+        loads = np.full(square_network.num_arcs, 10e6)
+        loads[0] = 99e6  # 99% of the 100 Mbps arc
+        resized, report = resize_congested_links(
+            square_network, loads, utilization_target=0.9
+        )
+        assert 0 in report.resized_arcs
+        utilization = loads / resized.capacity
+        assert utilization.max() <= 0.9 + 1e-12
+        assert report.max_utilization_after <= 0.9 + 1e-12
+        assert report.max_utilization_before == pytest.approx(0.99)
+
+    def test_symmetric_resizing_covers_reverse(self, square_network):
+        loads = np.zeros(square_network.num_arcs)
+        forward = square_network.arc_id(0, 1)
+        backward = square_network.arc_id(1, 0)
+        loads[forward] = 95e6
+        resized, report = resize_congested_links(
+            square_network, loads, symmetric=True
+        )
+        assert forward in report.resized_arcs
+        assert backward in report.resized_arcs
+        assert (
+            resized.capacity[forward] == resized.capacity[backward]
+        )
+
+    def test_asymmetric_mode(self, square_network):
+        loads = np.zeros(square_network.num_arcs)
+        forward = square_network.arc_id(0, 1)
+        loads[forward] = 95e6
+        resized, report = resize_congested_links(
+            square_network, loads, symmetric=False
+        )
+        assert report.resized_arcs == (forward,)
+
+    def test_validation(self, square_network):
+        with pytest.raises(ValueError, match="per arc"):
+            resize_congested_links(square_network, np.ones(3))
+        with pytest.raises(ValueError, match="utilization_target"):
+            resize_congested_links(
+                square_network,
+                np.zeros(square_network.num_arcs),
+                utilization_target=0.0,
+            )
+
+    def test_other_attributes_preserved(self, square_network):
+        loads = np.zeros(square_network.num_arcs)
+        loads[0] = 99e6
+        resized, _ = resize_congested_links(square_network, loads)
+        np.testing.assert_array_equal(
+            resized.prop_delay, square_network.prop_delay
+        )
+        assert resized.num_arcs == square_network.num_arcs

@@ -1,0 +1,71 @@
+"""Tests for topology validation and repair helpers."""
+
+import numpy as np
+import pytest
+
+from repro.topology.validation import (
+    canonical_edges,
+    ensure_connected,
+    ensure_two_edge_connected,
+    is_connected,
+    is_two_edge_connected,
+)
+
+
+@pytest.fixture
+def positions(rng):
+    return rng.uniform(0, 1, size=(8, 2))
+
+
+class TestConnectivityChecks:
+    def test_connected_cycle(self):
+        edges = [(i, (i + 1) % 5) for i in range(5)]
+        assert is_connected(5, edges)
+        assert is_two_edge_connected(5, edges)
+
+    def test_disconnected(self):
+        assert not is_connected(4, [(0, 1), (2, 3)])
+
+    def test_bridge_detected(self):
+        # two triangles joined by one bridge
+        edges = [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]
+        assert is_connected(6, edges)
+        assert not is_two_edge_connected(6, edges)
+
+
+class TestEnsureConnected:
+    def test_joins_components(self, positions):
+        edges = [(0, 1), (2, 3), (4, 5), (6, 7)]
+        fixed = ensure_connected(8, edges, positions)
+        assert is_connected(8, fixed)
+        assert set(edges).issubset(set(fixed))
+
+    def test_noop_when_connected(self, positions):
+        edges = [(i, (i + 1) % 8) for i in range(8)]
+        fixed = ensure_connected(8, edges, positions)
+        assert sorted(fixed) == sorted(edges)
+
+
+class TestEnsureTwoEdgeConnected:
+    def test_covers_bridge(self, positions):
+        edges = [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]
+        fixed = ensure_two_edge_connected(6, edges, positions[:6])
+        assert is_two_edge_connected(6, fixed)
+
+    def test_requires_connected_input(self, positions):
+        with pytest.raises(ValueError, match="connected"):
+            ensure_two_edge_connected(4, [(0, 1), (2, 3)], positions[:4])
+
+    def test_noop_on_cycle(self, positions):
+        edges = [(i, (i + 1) % 6) for i in range(6)]
+        fixed = ensure_two_edge_connected(6, edges, positions[:6])
+        assert sorted(fixed) == sorted(edges)
+
+
+class TestCanonicalEdges:
+    def test_dedup_and_orientation(self):
+        edges = [(1, 0), (0, 1), (2, 1), (3, 3)]
+        assert canonical_edges(edges) == [(0, 1), (1, 2)]
+
+    def test_sorted_output(self):
+        assert canonical_edges([(5, 4), (1, 0)]) == [(0, 1), (4, 5)]

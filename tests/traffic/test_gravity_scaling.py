@@ -1,0 +1,97 @@
+"""Tests for gravity traffic generation and utilization scaling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import rand_topology
+from repro.traffic.gravity import DtrTraffic, dtr_traffic, gravity_matrix
+from repro.traffic.scaling import (
+    reference_weights,
+    scale_to_utilization,
+    utilization_under_weights,
+)
+
+
+class TestGravityMatrix:
+    def test_total_volume(self, rng):
+        tm = gravity_matrix(10, rng, 5e8)
+        assert tm.total == pytest.approx(5e8)
+
+    def test_every_pair_positive(self, rng):
+        tm = gravity_matrix(8, rng, 1.0)
+        off_diag = ~np.eye(8, dtype=bool)
+        assert np.all(tm.values[off_diag] > 0)
+
+    def test_deterministic_per_seed(self):
+        a = gravity_matrix(6, np.random.default_rng(1), 1.0)
+        b = gravity_matrix(6, np.random.default_rng(1), 1.0)
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_zero_volume(self, rng):
+        tm = gravity_matrix(5, rng, 0.0)
+        assert tm.total == 0.0
+
+    def test_invalid_masses(self, rng):
+        with pytest.raises(ValueError):
+            gravity_matrix(5, rng, 1.0, mass_low=0.0)
+
+
+class TestDtrTraffic:
+    def test_delay_fraction(self, rng):
+        traffic = dtr_traffic(10, rng, 1e9, delay_fraction=0.3)
+        assert traffic.delay_fraction == pytest.approx(0.3)
+        assert traffic.total == pytest.approx(1e9)
+
+    def test_scaled(self, rng):
+        traffic = dtr_traffic(10, rng, 1e9)
+        doubled = traffic.scaled(2.0)
+        assert doubled.total == pytest.approx(2e9)
+        assert doubled.delay_fraction == pytest.approx(
+            traffic.delay_fraction
+        )
+
+    def test_invalid_fraction(self, rng):
+        with pytest.raises(ValueError):
+            dtr_traffic(10, rng, 1.0, delay_fraction=1.0)
+
+    def test_dimension_mismatch_rejected(self, rng):
+        delay = gravity_matrix(5, rng, 1.0)
+        tput = gravity_matrix(6, rng, 1.0)
+        with pytest.raises(ValueError):
+            DtrTraffic(delay=delay, throughput=tput)
+
+
+class TestScaling:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        target=st.sampled_from([0.2, 0.43, 0.74, 0.9]),
+        statistic=st.sampled_from(["mean", "max"]),
+        seed=st.integers(0, 1000),
+    )
+    def test_hits_target_exactly(self, target, statistic, seed):
+        gen = np.random.default_rng(seed)
+        network = rand_topology(12, 4.0, gen)
+        traffic = dtr_traffic(12, gen, 1.0)
+        scaled = scale_to_utilization(network, traffic, target, statistic)
+        utilization = utilization_under_weights(
+            network,
+            scaled,
+            reference_weights(network),
+            reference_weights(network),
+        )
+        observed = (
+            utilization.mean() if statistic == "mean" else utilization.max()
+        )
+        assert observed == pytest.approx(target, rel=1e-9)
+
+    def test_invalid_target(self, small_instance):
+        network, traffic = small_instance
+        with pytest.raises(ValueError):
+            scale_to_utilization(network, traffic, 0.0)
+
+    def test_invalid_statistic(self, small_instance):
+        network, traffic = small_instance
+        with pytest.raises(ValueError, match="statistic"):
+            scale_to_utilization(network, traffic, 0.5, "median")

@@ -1,0 +1,86 @@
+"""Tests for the TrafficMatrix value object."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.matrix import TrafficMatrix
+
+
+class TestConstruction:
+    def test_diagonal_forced_zero(self):
+        values = np.ones((3, 3))
+        tm = TrafficMatrix(values)
+        assert np.all(np.diag(tm.values) == 0)
+
+    def test_input_not_mutated(self):
+        values = np.ones((3, 3))
+        TrafficMatrix(values)
+        assert values[0, 0] == 1.0
+
+    def test_read_only(self):
+        tm = TrafficMatrix(np.ones((3, 3)))
+        with pytest.raises(ValueError):
+            tm.values[0, 1] = 5.0
+
+    def test_rejects_negative(self):
+        values = np.ones((3, 3))
+        values[0, 1] = -1
+        with pytest.raises(ValueError, match="non-negative"):
+            TrafficMatrix(values)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            TrafficMatrix(np.ones((2, 3)))
+
+    def test_rejects_nan(self):
+        values = np.ones((3, 3))
+        values[1, 2] = np.nan
+        with pytest.raises(ValueError, match="finite"):
+            TrafficMatrix(values)
+
+
+class TestAccessors:
+    def test_total_excludes_diagonal(self):
+        tm = TrafficMatrix(np.ones((3, 3)))
+        assert tm.total == pytest.approx(6.0)
+
+    def test_num_positive_pairs(self):
+        values = np.zeros((3, 3))
+        values[0, 1] = 2.0
+        values[2, 0] = 1.0
+        tm = TrafficMatrix(values)
+        assert tm.num_positive_pairs == 2
+
+    def test_pairs_iteration(self):
+        values = np.zeros((3, 3))
+        values[0, 2] = 4.0
+        tm = TrafficMatrix(values)
+        assert list(tm.pairs()) == [(0, 2, 4.0)]
+
+
+class TestOperations:
+    def test_scaled(self):
+        tm = TrafficMatrix(np.ones((3, 3)))
+        assert tm.scaled(2.0).total == pytest.approx(12.0)
+
+    def test_scaled_rejects_negative(self):
+        tm = TrafficMatrix(np.ones((3, 3)))
+        with pytest.raises(ValueError):
+            tm.scaled(-1.0)
+
+    def test_addition(self):
+        a = TrafficMatrix(np.ones((3, 3)))
+        b = TrafficMatrix(np.full((3, 3), 2.0))
+        assert (a + b).total == pytest.approx(18.0)
+
+    def test_addition_dimension_mismatch(self):
+        a = TrafficMatrix(np.ones((3, 3)))
+        b = TrafficMatrix(np.ones((4, 4)))
+        with pytest.raises(ValueError):
+            a + b
+
+    def test_with_values_keeps_name(self):
+        tm = TrafficMatrix(np.ones((3, 3)), name="delay")
+        new = tm.with_values(np.full((3, 3), 3.0))
+        assert new.name == "delay"
+        assert new.total == pytest.approx(18.0)

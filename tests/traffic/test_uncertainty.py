@@ -1,0 +1,119 @@
+"""Tests for the traffic-uncertainty models of Section V-F."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.gravity import dtr_traffic
+from repro.traffic.matrix import TrafficMatrix
+from repro.traffic.uncertainty import (
+    HotspotMode,
+    HotspotSpec,
+    fluctuate_traffic,
+    gaussian_fluctuation,
+    hotspot,
+)
+
+
+class TestGaussianFluctuation:
+    def test_zero_eps_is_identity(self, rng):
+        tm = TrafficMatrix(np.full((5, 5), 3.0))
+        out = gaussian_fluctuation(tm, 0.0, rng)
+        np.testing.assert_array_equal(out.values, tm.values)
+
+    def test_never_negative(self, rng):
+        tm = TrafficMatrix(np.full((10, 10), 1.0))
+        out = gaussian_fluctuation(tm, 2.0, rng)
+        assert np.all(out.values >= 0)
+
+    def test_magnitude_scales_with_eps(self):
+        tm = TrafficMatrix(np.full((20, 20), 100.0))
+        small = gaussian_fluctuation(tm, 0.05, np.random.default_rng(1))
+        large = gaussian_fluctuation(tm, 0.5, np.random.default_rng(1))
+        small_dev = np.abs(small.values - tm.values).mean()
+        large_dev = np.abs(large.values - tm.values).mean()
+        assert large_dev > small_dev
+
+    def test_mean_preserved_approximately(self):
+        tm = TrafficMatrix(np.full((30, 30), 50.0))
+        out = gaussian_fluctuation(tm, 0.2, np.random.default_rng(0))
+        assert out.total == pytest.approx(tm.total, rel=0.05)
+
+    def test_negative_eps_rejected(self, rng):
+        tm = TrafficMatrix(np.ones((4, 4)))
+        with pytest.raises(ValueError):
+            gaussian_fluctuation(tm, -0.1, rng)
+
+    def test_fluctuate_both_classes(self, rng):
+        traffic = dtr_traffic(8, rng, 1.0)
+        out = fluctuate_traffic(traffic, 0.2, rng)
+        assert out.delay.values.shape == traffic.delay.values.shape
+        assert not np.array_equal(out.delay.values, traffic.delay.values)
+
+
+class TestHotspot:
+    def test_only_increases_entries(self, rng):
+        traffic = dtr_traffic(20, rng, 1.0)
+        surged = hotspot(traffic, rng)
+        assert np.all(surged.delay.values >= traffic.delay.values - 1e-15)
+        assert np.all(
+            surged.throughput.values >= traffic.throughput.values - 1e-15
+        )
+
+    def test_surge_bounded_by_factor(self, rng):
+        traffic = dtr_traffic(20, rng, 1.0)
+        spec = HotspotSpec(factor_low=2.0, factor_high=6.0)
+        surged = hotspot(traffic, rng, spec)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            ratio = np.where(
+                traffic.delay.values > 0,
+                surged.delay.values / np.where(
+                    traffic.delay.values > 0, traffic.delay.values, 1.0
+                ),
+                1.0,
+            )
+        assert ratio.max() <= 6.0 + 1e-9
+
+    def test_number_of_scaled_pairs(self, rng):
+        traffic = dtr_traffic(20, rng, 1.0)
+        spec = HotspotSpec(server_fraction=0.1, client_fraction=0.5)
+        surged = hotspot(traffic, rng, spec)
+        changed = np.count_nonzero(
+            ~np.isclose(surged.delay.values, traffic.delay.values)
+        )
+        assert changed == 10  # one entry per client
+
+    def test_upload_vs_download_direction(self):
+        gen = np.random.default_rng(9)
+        traffic = dtr_traffic(10, gen, 1.0)
+        up = hotspot(
+            traffic,
+            np.random.default_rng(5),
+            HotspotSpec(mode=HotspotMode.UPLOAD),
+        )
+        down = hotspot(
+            traffic,
+            np.random.default_rng(5),
+            HotspotSpec(mode=HotspotMode.DOWNLOAD),
+        )
+        up_changed = np.argwhere(
+            ~np.isclose(up.delay.values, traffic.delay.values)
+        )
+        down_changed = np.argwhere(
+            ~np.isclose(down.delay.values, traffic.delay.values)
+        )
+        # same (server, client) draws, opposite directions
+        assert {tuple(x) for x in up_changed} == {
+            tuple(x[::-1]) for x in down_changed
+        }
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            HotspotSpec(server_fraction=0.0)
+        with pytest.raises(ValueError):
+            HotspotSpec(factor_low=0.5)
+
+    def test_too_many_participants_rejected(self, rng):
+        traffic = dtr_traffic(10, rng, 1.0)
+        spec = HotspotSpec(server_fraction=0.6, client_fraction=0.6)
+        with pytest.raises(ValueError, match="exceed"):
+            hotspot(traffic, rng, spec)
