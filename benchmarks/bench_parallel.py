@@ -1,0 +1,132 @@
+"""Serial vs parallel failure-sweep benchmark with cache accounting.
+
+Runs the same ≥50-scenario single-link-failure sweep through the serial
+:class:`DtrEvaluator` and the :class:`ParallelDtrEvaluator` and reports
+wall-clock speedup, per-sweep times, parity of the total cost, and the
+routing-cache hit rate.  Usable two ways::
+
+    python benchmarks/bench_parallel.py             # full report
+    python benchmarks/bench_parallel.py --jobs 2 --rounds 2   # CI smoke
+
+Pass ``--assert-speedup X`` to fail (exit 1) when the speedup lands
+below ``X`` — useful on dedicated hardware, deliberately not the default
+because shared CI runners make wall-clock assertions flaky.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.config import ExecutionParams, OptimizerConfig
+from repro.core.evaluation import DtrEvaluator
+from repro.core.parallel import ParallelDtrEvaluator
+from repro.core.weights import WeightSetting
+from repro.routing.failures import single_link_failures
+from repro.topology import rand_topology, scale_to_diameter
+from repro.traffic import dtr_traffic, scale_to_utilization
+
+
+def build_instance(num_nodes: int, seed: int):
+    """A seeded RandTopo instance big enough for a ≥50-scenario sweep."""
+    rng = np.random.default_rng(seed)
+    network = scale_to_diameter(rand_topology(num_nodes, 5.0, rng), 0.025)
+    traffic = scale_to_utilization(
+        network, dtr_traffic(num_nodes, rng, 1.0), 0.43, "mean"
+    )
+    return network, traffic
+
+
+def time_sweeps(evaluator, setting, failures, rounds: int) -> float:
+    """Best-of-``rounds`` wall time of a full failure sweep (seconds)."""
+    normal = evaluator.evaluate_normal(setting)
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        evaluator.evaluate_failures(setting, failures, reuse=normal)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--nodes", type=int, default=40, help="topology size (default 40)"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help="parallel workers (0 = one per CPU, the default)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=3, help="timed rounds (best-of)"
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--assert-speedup",
+        type=float,
+        default=None,
+        help="exit 1 unless speedup reaches this factor",
+    )
+    args = parser.parse_args(argv)
+
+    jobs = args.jobs or (os.cpu_count() or 1)
+    network, traffic = build_instance(args.nodes, args.seed)
+    failures = single_link_failures(network)
+    config = OptimizerConfig()
+    setting = WeightSetting.random(
+        network.num_arcs, config.weights, np.random.default_rng(args.seed)
+    )
+    print(
+        f"instance: {network.num_nodes} nodes, {network.num_arcs} arcs, "
+        f"{len(failures)} failure scenarios; n_jobs={jobs}"
+    )
+
+    serial = DtrEvaluator(network, traffic, config)
+    serial_time = time_sweeps(serial, setting, failures, args.rounds)
+    serial_total = serial.evaluate_failures(setting, failures).total_cost
+
+    parallel_config = config.replace(execution=ExecutionParams(n_jobs=jobs))
+    with ParallelDtrEvaluator(network, traffic, parallel_config) as parallel:
+        # one warmup sweep pays the pool startup outside the timing
+        parallel.evaluate_failures(setting, failures)
+        parallel_time = time_sweeps(parallel, setting, failures, args.rounds)
+        parallel_total = parallel.evaluate_failures(
+            setting, failures
+        ).total_cost
+        stats = parallel.cache_stats
+
+    speedup = serial_time / parallel_time if parallel_time > 0 else 0.0
+    parity = (
+        serial_total.lam == parallel_total.lam
+        and serial_total.phi == parallel_total.phi
+    )
+    print(f"serial sweep:    {serial_time * 1e3:8.1f} ms")
+    print(f"parallel sweep:  {parallel_time * 1e3:8.1f} ms")
+    print(f"speedup:         {speedup:8.2f}x")
+    print(
+        f"cache:           {stats.hit_rate:8.1%} hit rate "
+        f"({stats.hits_exact} exact + {stats.hits_incremental} incremental "
+        f"/ {stats.lookups} lookups)"
+    )
+    print(f"parity:          total_cost bit-identical = {parity}")
+
+    if not parity:
+        print("FAIL: parallel sweep diverged from serial", file=sys.stderr)
+        return 1
+    if args.assert_speedup and speedup < args.assert_speedup:
+        print(
+            f"FAIL: speedup {speedup:.2f}x < {args.assert_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

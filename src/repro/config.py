@@ -17,6 +17,7 @@ values used in Sections IV-E and V of the paper:
 from __future__ import annotations
 
 import dataclasses
+import os
 from dataclasses import dataclass
 
 
@@ -209,6 +210,52 @@ class SearchParams:
 
 
 @dataclass(frozen=True)
+class ExecutionParams:
+    """How the cost oracle executes: parallelism and routing-cache knobs.
+
+    These parameters never change *what* is computed — evaluations are
+    bit-identical for every setting — only how fast it happens (see
+    docs/PERFORMANCE.md).
+
+    Attributes:
+        n_jobs: worker count for failure-sweep fan-out; 1 runs fully
+            serial, 0 resolves to one worker per available CPU.
+        executor: ``"process"`` (default; sidesteps the GIL, needed for
+            real speedup on the pure-Python propagation kernels) or
+            ``"thread"`` (cheaper startup, useful for tests and platforms
+            without fork).
+        chunk_size: scenarios per parallel task; None picks a chunk count
+            of roughly four tasks per worker for load balancing.
+        routing_cache: enable the incremental routing cache that reuses
+            class routings across weight settings and scenarios.
+        cache_size: maximum number of cached class routings.
+    """
+
+    n_jobs: int = 1
+    executor: str = "process"
+    chunk_size: int | None = None
+    routing_cache: bool = True
+    cache_size: int = 512
+
+    def __post_init__(self) -> None:
+        if self.n_jobs < 0:
+            raise ValueError("n_jobs must be >= 0 (0 = one per CPU)")
+        if self.executor not in ("process", "thread"):
+            raise ValueError("executor must be 'process' or 'thread'")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1 when given")
+        if self.cache_size < 1:
+            raise ValueError("cache_size must be >= 1")
+
+    @property
+    def resolved_jobs(self) -> int:
+        """The effective worker count (``n_jobs=0`` means all CPUs)."""
+        if self.n_jobs == 0:
+            return os.cpu_count() or 1
+        return self.n_jobs
+
+
+@dataclass(frozen=True)
 class OptimizerConfig:
     """Full configuration of the robust DTR optimizer.
 
@@ -219,6 +266,8 @@ class OptimizerConfig:
             (paper default in Section V: 0.15).
         keep_acceptable_settings: how many acceptable weight settings from
             Phase 1 are retained as Phase 2 starting points.
+        execution: parallelism and caching knobs (cost-neutral: they never
+            change computed values).
     """
 
     delay: DelayModelParams = DelayModelParams()
@@ -226,6 +275,7 @@ class OptimizerConfig:
     weights: WeightParams = WeightParams()
     sampling: SamplingParams = SamplingParams()
     search: SearchParams = SearchParams()
+    execution: ExecutionParams = ExecutionParams()
     critical_fraction: float = 0.15
     keep_acceptable_settings: int = 10
 

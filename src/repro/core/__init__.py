@@ -10,6 +10,13 @@ from repro.core.evaluation import (
 from repro.core.fortz import fortz_cost, fortz_link_cost
 from repro.core.lexicographic import CostPair, relative_improvement
 from repro.core.optimizer import RobustDtrOptimizer, RobustRoutingResult
+from repro.core.parallel import (
+    CacheStats,
+    CachingDtrEvaluator,
+    ParallelDtrEvaluator,
+    RoutingCache,
+    make_evaluator,
+)
 from repro.core.phase1 import Phase1Result, run_phase1
 from repro.core.phase2 import (
     Phase2Result,
@@ -23,12 +30,16 @@ from repro.core.sla import SlaOutcome, sla_outcome
 from repro.core.weights import WeightSetting
 
 __all__ = [
+    "CacheStats",
+    "CachingDtrEvaluator",
     "CostPair",
     "CostSampleStore",
     "CriticalSelection",
     "CriticalityEstimate",
     "DtrEvaluator",
     "FailureEvaluation",
+    "ParallelDtrEvaluator",
+    "RoutingCache",
     "Phase1Result",
     "Phase2Result",
     "RobustConstraints",
@@ -42,6 +53,7 @@ __all__ = [
     "estimate_criticality",
     "fortz_cost",
     "fortz_link_cost",
+    "make_evaluator",
     "queueing_delay_at",
     "relative_improvement",
     "run_phase1",

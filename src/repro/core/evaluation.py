@@ -122,13 +122,6 @@ class FailureEvaluation:
         return float(counts[:k].mean())
 
 
-def _used_arcs(routing: ClassRouting) -> np.ndarray:
-    """Arcs lying on any demand-carrying shortest-path DAG."""
-    if routing.masks.shape[0] == 0:
-        return np.zeros(routing.masks.shape[1], dtype=bool)
-    return routing.masks.any(axis=0)
-
-
 class DtrEvaluator:
     """Cost oracle for one (network, traffic, configuration) instance."""
 
@@ -170,15 +163,23 @@ class DtrEvaluator:
         return self._engine
 
     @property
+    def delay_mode(self) -> str:
+        """Path-delay aggregation mode (``"worst"`` or ``"mean"``)."""
+        return self._delay_mode
+
+    @property
     def num_evaluations(self) -> int:
         """How many scenario evaluations this oracle has performed."""
         return self._num_evaluations
 
     def with_traffic(self, traffic: DtrTraffic) -> "DtrEvaluator":
         """A sibling evaluator for different (e.g. perturbed) traffic."""
-        return DtrEvaluator(
+        return type(self)(
             self._network, traffic, self._config, self._delay_mode
         )
+
+    def close(self) -> None:
+        """Release execution resources (no-op for the serial evaluator)."""
 
     # ------------------------------------------------------------------
     def evaluate(
@@ -210,9 +211,9 @@ class DtrEvaluator:
             and reuse.routing_tput is not None
         ):
             failed = list(scenario.failed_arcs)
-            if not _used_arcs(reuse.routing_delay)[failed].any():
+            if not reuse.routing_delay.used_arcs()[failed].any():
                 routing_d = reuse.routing_delay
-            if not _used_arcs(reuse.routing_tput)[failed].any():
+            if not reuse.routing_tput.used_arcs()[failed].any():
                 routing_t = reuse.routing_tput
             if routing_d is not None and routing_t is not None:
                 # Neither class touched the failed arcs: identical costs.
@@ -224,12 +225,15 @@ class DtrEvaluator:
                 )
 
         if routing_d is None:
-            routing_d = self._engine.route_class(
-                setting.delay, self._traffic.delay.values, scenario
+            routing_d = self._route(
+                "delay", setting.delay, self._traffic.delay.values, scenario
             )
         if routing_t is None:
-            routing_t = self._engine.route_class(
-                setting.tput, self._traffic.throughput.values, scenario
+            routing_t = self._route(
+                "tput",
+                setting.tput,
+                self._traffic.throughput.values,
+                scenario,
             )
         total = routing_d.loads + routing_t.loads
         delays = arc_delays(
@@ -258,9 +262,33 @@ class DtrEvaluator:
             routing_tput=routing_t,
         )
 
+    def _route(
+        self,
+        class_id: str,
+        weights: np.ndarray,
+        demands: np.ndarray,
+        scenario: FailureScenario,
+    ) -> ClassRouting:
+        """Route one class; subclasses may interpose a routing cache.
+
+        ``class_id`` (``"delay"`` / ``"tput"``) namespaces cache entries;
+        the serial evaluator routes directly.
+        """
+        return self._engine.route_class(weights, demands, scenario)
+
     def evaluate_normal(self, setting: WeightSetting) -> ScenarioEvaluation:
         """Cost under the failure-free scenario."""
         return self.evaluate(setting, NORMAL)
+
+    def evaluate_normal_batch(
+        self, settings: "list[WeightSetting] | tuple[WeightSetting, ...]"
+    ) -> tuple[ScenarioEvaluation, ...]:
+        """Failure-free costs of several settings, in input order.
+
+        The serial implementation is a plain loop; the parallel evaluator
+        fans the batch out across its worker pool.
+        """
+        return tuple(self.evaluate_normal(s) for s in settings)
 
     def evaluate_failures(
         self,

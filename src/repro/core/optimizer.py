@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.config import PAPER_CONFIG, OptimizerConfig
 from repro.core.evaluation import DtrEvaluator
+from repro.core.parallel import make_evaluator
 from repro.core.phase1 import Phase1Result, run_phase1
 from repro.core.phase2 import (
     Phase2Result,
@@ -75,7 +76,11 @@ class RobustDtrOptimizer:
     Args:
         network: the topology.
         traffic: the two-class traffic instance.
-        config: parameters (defaults to the paper's values).
+        config: parameters (defaults to the paper's values).  The
+            ``config.execution`` block selects the evaluation engine:
+            ``n_jobs > 1`` sweeps failure sets across a worker pool and
+            ``routing_cache`` reuses class routings across settings; both
+            are bit-identical to the serial evaluator.
         failure_model: granularity of single-failure enumeration
             (physical link by default; per-arc available).
         rng: random generator; pass a seeded one for reproducibility.
@@ -89,7 +94,7 @@ class RobustDtrOptimizer:
         failure_model: FailureModel = FailureModel.LINK,
         rng: np.random.Generator | None = None,
     ) -> None:
-        self._evaluator = DtrEvaluator(network, traffic, config)
+        self._evaluator = make_evaluator(network, traffic, config)
         self._failure_model = failure_model
         self._rng = rng if rng is not None else np.random.default_rng()
 
@@ -97,6 +102,10 @@ class RobustDtrOptimizer:
     def evaluator(self) -> DtrEvaluator:
         """The underlying cost oracle."""
         return self._evaluator
+
+    def close(self) -> None:
+        """Release the evaluator's execution resources (worker pools)."""
+        self._evaluator.close()
 
     # ------------------------------------------------------------------
     def run(

@@ -1,0 +1,582 @@
+"""Parallel, cache-aware evaluation: the cost oracle at hardware speed.
+
+The two-phase search is bottlenecked on :class:`~repro.core.evaluation.
+DtrEvaluator`: every candidate weight setting is swept across the whole
+failure set serially, and every single-arc weight move re-routes both
+traffic classes from scratch.  This module removes both bottlenecks
+without changing a single computed bit:
+
+* :class:`RoutingCache` — an LRU cache of :class:`ClassRouting` results
+  keyed by ``(class, weights, scenario)``.  Besides exact hits it serves
+  *incremental* hits that generalize the evaluator's failed-arc shortcut
+  to weight changes: raising the weight of an arc that lies on no
+  demand-carrying shortest-path DAG cannot alter any shortest distance,
+  DAG or load (arc removal is the limit of that weight going to
+  infinity), so the cached routing is returned unchanged.  Local-search
+  moves are single-arc, which makes this the common case.
+
+* :class:`CachingDtrEvaluator` — a drop-in evaluator that interposes the
+  cache on every class routing.
+
+* :class:`ParallelDtrEvaluator` — additionally fans failure sweeps and
+  normal-evaluation batches out across a ``concurrent.futures`` pool
+  (processes by default; the propagation kernels are pure Python, so
+  threads only help where fork is unavailable).  Scenario order, and
+  therefore every floating-point sum, is preserved, so results are
+  bit-identical to the serial evaluator; ``tests/core/test_parallel.py``
+  pins this.
+
+Workers are long-lived: each holds its own :class:`CachingDtrEvaluator`
+(built once per process by the pool initializer) so routing caches stay
+warm across sweeps, and every task reports its cumulative cache counters
+back so :attr:`ParallelDtrEvaluator.cache_stats` aggregates the whole
+fleet.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+from collections import OrderedDict, deque
+from concurrent.futures import (
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.config import OptimizerConfig
+from repro.core.evaluation import (
+    DtrEvaluator,
+    FailureEvaluation,
+    ScenarioEvaluation,
+)
+from repro.core.weights import WeightSetting
+from repro.routing.engine import ClassRouting
+from repro.routing.failures import FailureScenario, FailureSet
+from repro.routing.network import Network
+from repro.traffic.gravity import DtrTraffic
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Routing-cache counters.
+
+    Attributes:
+        hits_exact: lookups answered by an identical (weights, scenario)
+            entry.
+        hits_incremental: lookups answered by the unused-arc weight-change
+            shortcut.
+        misses: lookups that had to route from scratch.
+    """
+
+    hits_exact: int = 0
+    hits_incremental: int = 0
+    misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        """All cache hits."""
+        return self.hits_exact + self.hits_incremental
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def __add__(self, other: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            self.hits_exact + other.hits_exact,
+            self.hits_incremental + other.hits_incremental,
+            self.misses + other.misses,
+        )
+
+
+@dataclass
+class _CacheEntry:
+    """One cached routing: the weights it was computed under, the routing,
+    and the per-arc used-on-any-DAG mask for the incremental check."""
+
+    weights: np.ndarray
+    routing: ClassRouting
+    used: np.ndarray
+
+
+#: Recent entries probed per (class, scenario) for an incremental hit.
+_PROBE_DEPTH = 4
+
+
+class RoutingCache:
+    """LRU cache of class routings with an incremental-reuse fast path.
+
+    Keys are ``(class_id, scenario, weights_bytes)``.  A lookup first
+    tries the exact key; failing that it probes the most recent entries
+    of the same ``(class_id, scenario)`` and reuses one whose weights
+    differ from the query only on arcs that (a) got *heavier* and (b) lie
+    on no demand-carrying shortest-path DAG of the cached routing.  Such
+    changes provably leave distances, DAG masks and loads untouched, so
+    the cached routing is bit-identical to what a fresh computation would
+    produce (the parity tests pin this).
+
+    All operations are guarded by a lock so the thread-pool executor can
+    share one cache.
+
+    Args:
+        max_entries: LRU capacity (entries, across classes and scenarios).
+    """
+
+    def __init__(self, max_entries: int = 512) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self._max_entries = max_entries
+        self._entries: OrderedDict[tuple, _CacheEntry] = OrderedDict()
+        self._recent: dict[tuple, deque] = {}
+        self._lock = threading.Lock()
+        self._hits_exact = 0
+        self._hits_incremental = 0
+        self._misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def stats(self) -> CacheStats:
+        """Current counters (snapshot)."""
+        with self._lock:
+            return CacheStats(
+                self._hits_exact, self._hits_incremental, self._misses
+            )
+
+    # ------------------------------------------------------------------
+    def get(
+        self,
+        class_id: str,
+        scenario: FailureScenario,
+        weights: np.ndarray,
+    ) -> ClassRouting | None:
+        """A routing valid for ``weights`` under ``scenario``, or None."""
+        key = (class_id, scenario, weights.tobytes())
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self._hits_exact += 1
+                return entry.routing
+            for recent_key in reversed(
+                self._recent.get((class_id, scenario), ())
+            ):
+                entry = self._entries.get(recent_key)
+                if entry is None:
+                    continue
+                changed = entry.weights != weights
+                if not changed.any():
+                    continue  # dtype-mismatched duplicate of the exact key
+                if (
+                    bool((weights >= entry.weights)[changed].all())
+                    and not entry.used[changed].any()
+                ):
+                    self._hits_incremental += 1
+                    return entry.routing
+            self._misses += 1
+            return None
+
+    def put(
+        self,
+        class_id: str,
+        scenario: FailureScenario,
+        weights: np.ndarray,
+        routing: ClassRouting,
+    ) -> None:
+        """Store a routing computed (or proven valid) for ``weights``."""
+        key = (class_id, scenario, weights.tobytes())
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                return
+            self._entries[key] = _CacheEntry(
+                weights=np.array(weights, copy=True),
+                routing=routing,
+                used=routing.used_arcs(),
+            )
+            recent = self._recent.setdefault(
+                (class_id, scenario), deque(maxlen=_PROBE_DEPTH)
+            )
+            recent.append(key)
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+            self._recent.clear()
+
+
+class CachingDtrEvaluator(DtrEvaluator):
+    """Drop-in :class:`DtrEvaluator` with the incremental routing cache.
+
+    Produces bit-identical results to the serial evaluator — the cache
+    only short-circuits recomputation of provably unchanged routings.
+    ``config.execution.routing_cache = False`` disables caching (for
+    memory-bound runs or A/B checks) while keeping the class usable as
+    the worker-side evaluator of the parallel pool.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        traffic: DtrTraffic,
+        config: OptimizerConfig,
+        delay_mode: str = "worst",
+    ) -> None:
+        super().__init__(network, traffic, config, delay_mode)
+        execution = config.execution
+        self._cache = (
+            RoutingCache(execution.cache_size)
+            if execution.routing_cache
+            else None
+        )
+
+    @property
+    def cache(self) -> RoutingCache | None:
+        """The routing cache (None when disabled)."""
+        return self._cache
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Aggregated cache counters (all-zero when caching is off)."""
+        if self._cache is None:
+            return CacheStats()
+        return self._cache.stats
+
+    def _route(
+        self,
+        class_id: str,
+        weights: np.ndarray,
+        demands: np.ndarray,
+        scenario: FailureScenario,
+    ) -> ClassRouting:
+        if self._cache is None:
+            return self._engine.route_class(weights, demands, scenario)
+        routing = self._cache.get(class_id, scenario, weights)
+        if routing is None:
+            routing = self._engine.route_class(weights, demands, scenario)
+        self._cache.put(class_id, scenario, weights, routing)
+        return routing
+
+
+# ----------------------------------------------------------------------
+# worker-process state and task functions
+# ----------------------------------------------------------------------
+_WORKER_EVALUATOR: CachingDtrEvaluator | None = None
+
+
+def _init_worker(
+    network: Network,
+    traffic: DtrTraffic,
+    config: OptimizerConfig,
+    delay_mode: str,
+) -> None:
+    """Build the per-process evaluator once; its cache outlives tasks."""
+    global _WORKER_EVALUATOR
+    _WORKER_EVALUATOR = CachingDtrEvaluator(
+        network, traffic, config, delay_mode
+    )
+
+
+def _strip_routings(evaluation: ScenarioEvaluation) -> ScenarioEvaluation:
+    """Drop the attached routings (cuts IPC volume; costs are complete)."""
+    if evaluation.routing_delay is None and evaluation.routing_tput is None:
+        return evaluation
+    return replace(evaluation, routing_delay=None, routing_tput=None)
+
+
+def _worker_sweep(
+    delay_weights: np.ndarray,
+    tput_weights: np.ndarray,
+    scenarios: tuple[FailureScenario, ...],
+    reuse: ScenarioEvaluation | None,
+) -> tuple[list[ScenarioEvaluation], int, tuple[int, int, int]]:
+    """Evaluate one scenario chunk in a worker process.
+
+    Returns the stripped evaluations in input order plus the worker's pid
+    and *cumulative* cache counters (the parent keeps the latest counters
+    per pid, so re-sending totals is idempotent).
+    """
+    evaluator = _WORKER_EVALUATOR
+    assert evaluator is not None, "worker initializer did not run"
+    setting = WeightSetting(delay_weights, tput_weights)
+    outcomes = [
+        _strip_routings(evaluator.evaluate(setting, s, reuse=reuse))
+        for s in scenarios
+    ]
+    stats = evaluator.cache_stats
+    return (
+        outcomes,
+        os.getpid(),
+        (stats.hits_exact, stats.hits_incremental, stats.misses),
+    )
+
+
+def _worker_normal_batch(
+    settings: tuple[tuple[np.ndarray, np.ndarray], ...],
+) -> tuple[list[ScenarioEvaluation], int, tuple[int, int, int]]:
+    """Evaluate a batch of settings under the failure-free scenario."""
+    evaluator = _WORKER_EVALUATOR
+    assert evaluator is not None, "worker initializer did not run"
+    outcomes = [
+        _strip_routings(
+            evaluator.evaluate_normal(WeightSetting(delay, tput))
+        )
+        for delay, tput in settings
+    ]
+    stats = evaluator.cache_stats
+    return (
+        outcomes,
+        os.getpid(),
+        (stats.hits_exact, stats.hits_incremental, stats.misses),
+    )
+
+
+class ParallelDtrEvaluator(CachingDtrEvaluator):
+    """Cost oracle that sweeps failure sets across a worker pool.
+
+    Results are bit-identical to :class:`DtrEvaluator`: scenarios are
+    evaluated independently with the same arithmetic, reassembled in
+    scenario order, and summed in the same order.  Evaluations returned
+    from parallel sweeps carry no attached routings (they stay in the
+    workers); everything else — costs, SLA accounting, load vectors —
+    is complete.
+
+    The pool is created lazily on the first parallel call and torn down
+    by :meth:`close` (also a context manager).  With ``n_jobs=1`` every
+    call degrades gracefully to the serial cached path.
+
+    Args:
+        network: the topology.
+        traffic: the two-class traffic instance.
+        config: optimizer configuration; ``config.execution`` supplies
+            ``n_jobs``, executor kind, chunking and cache knobs.
+        delay_mode: path-delay aggregation mode.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        traffic: DtrTraffic,
+        config: OptimizerConfig,
+        delay_mode: str = "worst",
+    ) -> None:
+        super().__init__(network, traffic, config, delay_mode)
+        execution = config.execution
+        self._n_jobs = execution.resolved_jobs
+        self._executor_kind = execution.executor
+        self._chunk_size = execution.chunk_size
+        self._pool: Executor | None = None
+        self._pool_lock = threading.Lock()
+        self._worker_stats: dict[int, CacheStats] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def n_jobs(self) -> int:
+        """Effective worker count."""
+        return self._n_jobs
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Cache counters aggregated over this process and all workers."""
+        total = CachingDtrEvaluator.cache_stats.fget(self)
+        for stats in self._worker_stats.values():
+            total = total + stats
+        return total
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ParallelDtrEvaluator":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> Executor:
+        with self._pool_lock:
+            if self._pool is None:
+                if self._executor_kind == "process":
+                    self._pool = ProcessPoolExecutor(
+                        max_workers=self._n_jobs,
+                        initializer=_init_worker,
+                        initargs=(
+                            self._network,
+                            self._traffic,
+                            self._config,
+                            self._delay_mode,
+                        ),
+                    )
+                else:
+                    self._pool = ThreadPoolExecutor(
+                        max_workers=self._n_jobs,
+                        thread_name_prefix="repro-eval",
+                    )
+            return self._pool
+
+    def _chunks(self, items: list) -> list[list]:
+        """Contiguous chunks; about four tasks per worker unless pinned."""
+        if self._chunk_size is not None:
+            size = self._chunk_size
+        else:
+            size = max(1, math.ceil(len(items) / (self._n_jobs * 4)))
+        return [items[i: i + size] for i in range(0, len(items), size)]
+
+    def _record_worker_stats(
+        self, pid: int, counters: tuple[int, int, int]
+    ) -> None:
+        self._worker_stats[pid] = CacheStats(*counters)
+
+    # ------------------------------------------------------------------
+    def evaluate_failures(
+        self,
+        setting: WeightSetting,
+        failures: FailureSet | list,
+        reuse: ScenarioEvaluation | None = None,
+    ) -> FailureEvaluation:
+        """Parallel counterpart of :meth:`DtrEvaluator.evaluate_failures`.
+
+        Scenario chunks run concurrently; results are reassembled in
+        scenario order, so ``FailureEvaluation.total_cost`` sums in the
+        same order as the serial sweep and is bit-identical to it.
+        """
+        scenarios = list(failures)
+        if self._n_jobs == 1 or len(scenarios) < 2:
+            return super().evaluate_failures(setting, failures, reuse=reuse)
+        if reuse is None:
+            reuse = self.evaluate_normal(setting)
+
+        if self._executor_kind == "thread":
+            before = self._num_evaluations
+            outcomes = self._threaded_sweep(setting, scenarios, reuse)
+            # Worker threads bumped the (non-atomic) counter; restate it.
+            self._num_evaluations = before + len(scenarios)
+        else:
+            # The reuse evaluation ships WITH its routings — workers need
+            # them for the failed-arc shortcut; ClassRouting drops its
+            # Network back-reference on pickling, so the payload is small.
+            outcomes = self._process_sweep(setting, scenarios, reuse)
+            self._num_evaluations += len(scenarios)
+        return FailureEvaluation(tuple(outcomes))
+
+    def _process_sweep(
+        self,
+        setting: WeightSetting,
+        scenarios: list[FailureScenario],
+        reuse: ScenarioEvaluation,
+    ) -> list[ScenarioEvaluation]:
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(
+                _worker_sweep,
+                setting.delay,
+                setting.tput,
+                tuple(chunk),
+                reuse,
+            )
+            for chunk in self._chunks(scenarios)
+        ]
+        outcomes: list[ScenarioEvaluation] = []
+        for future in futures:
+            chunk_outcomes, pid, counters = future.result()
+            outcomes.extend(chunk_outcomes)
+            self._record_worker_stats(pid, counters)
+        return outcomes
+
+    def _threaded_sweep(
+        self,
+        setting: WeightSetting,
+        scenarios: list[FailureScenario],
+        reuse: ScenarioEvaluation,
+    ) -> list[ScenarioEvaluation]:
+        pool = self._ensure_pool()
+
+        def sweep_chunk(chunk: list) -> list[ScenarioEvaluation]:
+            # Threads share this evaluator; the cache is lock-guarded.
+            return [
+                _strip_routings(self.evaluate(setting, s, reuse=reuse))
+                for s in chunk
+            ]
+
+        futures = [
+            pool.submit(sweep_chunk, chunk)
+            for chunk in self._chunks(scenarios)
+        ]
+        outcomes: list[ScenarioEvaluation] = []
+        for future in futures:
+            outcomes.extend(future.result())
+        return outcomes
+
+    # ------------------------------------------------------------------
+    def evaluate_normal_batch(
+        self, settings: "list[WeightSetting] | tuple[WeightSetting, ...]"
+    ) -> tuple[ScenarioEvaluation, ...]:
+        """Failure-free costs of several settings, fanned across the pool."""
+        settings = list(settings)
+        if (
+            self._n_jobs == 1
+            or len(settings) < 2
+            or self._executor_kind == "thread"
+        ):
+            return super().evaluate_normal_batch(settings)
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(
+                _worker_normal_batch,
+                tuple((s.delay, s.tput) for s in chunk),
+            )
+            for chunk in self._chunks(settings)
+        ]
+        outcomes: list[ScenarioEvaluation] = []
+        for future in futures:
+            chunk_outcomes, pid, counters = future.result()
+            outcomes.extend(chunk_outcomes)
+            self._record_worker_stats(pid, counters)
+        self._num_evaluations += len(settings)
+        return tuple(outcomes)
+
+
+def make_evaluator(
+    network: Network,
+    traffic: DtrTraffic,
+    config: OptimizerConfig,
+    delay_mode: str = "worst",
+) -> DtrEvaluator:
+    """The right evaluator for ``config.execution``.
+
+    ``n_jobs > 1`` (or 0 = all CPUs on a multi-core host) selects the
+    parallel evaluator, ``routing_cache`` alone the caching one, and the
+    plain serial evaluator otherwise.  All three produce bit-identical
+    results.
+    """
+    execution = config.execution
+    if execution.resolved_jobs > 1:
+        return ParallelDtrEvaluator(network, traffic, config, delay_mode)
+    if execution.routing_cache:
+        return CachingDtrEvaluator(network, traffic, config, delay_mode)
+    return DtrEvaluator(network, traffic, config, delay_mode)

@@ -41,6 +41,12 @@ from repro.core.selection import CriticalSelection, select_critical_links
 from repro.core.weights import WeightSetting
 
 
+#: Phase-1b draw/evaluate batch size.  A constant (not ``n_jobs``) so the
+#: sampling trajectory — and therefore every seeded experiment table — is
+#: identical for every worker count.
+_SAMPLE_BATCH = 8
+
+
 class SampleCollector:
     """Records failure-like perturbation costs and tracks rank convergence.
 
@@ -250,6 +256,15 @@ def run_phase1b(
     setting), the least-sampled arc gets its weights pushed into the
     failure band, and the resulting cost is recorded.  Returns the number
     of extra samples generated.
+
+    Candidates are drawn and evaluated in fixed-size batches so a
+    parallel evaluator can fan each batch across its workers.  The batch
+    size is a *constant*, deliberately independent of ``n_jobs``: the
+    draw sequence (which arcs get sampled, against which least-sampled
+    ranking) must not depend on the worker count, or seeded experiment
+    results would differ between ``--jobs`` settings.  Within one batch
+    the least-sampled ranking is not refreshed between draws — the store
+    updates once per recorded batch.
     """
     config = evaluator.config
     wp = config.weights
@@ -258,16 +273,24 @@ def run_phase1b(
     extra = 0
     candidates_per_draw = 8
     while collector.needs_more_samples and extra < cap:
-        base = bases[int(rng.integers(0, len(bases)))]
-        starved = collector.store.least_sampled_arcs(candidates_per_draw)
-        arc = starved[int(rng.integers(0, len(starved)))]
-        candidate = base.copy()
-        candidate.fail_arc_weights(arc, wp, rng)
-        cost = evaluator.evaluate_normal(candidate).cost
-        stats.evaluations += 1
-        collector.record(arc, cost)
-        stats.samples_recorded += 1
-        extra += 1
+        draws: list[tuple[int, WeightSetting]] = []
+        for _ in range(min(_SAMPLE_BATCH, cap - extra)):
+            base = bases[int(rng.integers(0, len(bases)))]
+            starved = collector.store.least_sampled_arcs(
+                candidates_per_draw
+            )
+            arc = starved[int(rng.integers(0, len(starved)))]
+            candidate = base.copy()
+            candidate.fail_arc_weights(arc, wp, rng)
+            draws.append((arc, candidate))
+        outcomes = evaluator.evaluate_normal_batch(
+            [candidate for _, candidate in draws]
+        )
+        for (arc, _), outcome in zip(draws, outcomes):
+            stats.evaluations += 1
+            collector.record(arc, outcome.cost)
+            stats.samples_recorded += 1
+            extra += 1
     return extra
 
 

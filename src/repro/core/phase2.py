@@ -105,17 +105,20 @@ def _ordered_sweep(
 
     The ordering front-loads the expensive scenarios of the *incumbent*,
     which is the best available predictor of where a candidate's partial
-    cost will exceed the bound.
+    cost will exceed the bound.  The sweep goes through
+    ``evaluator.evaluate_failures`` so a parallel evaluator fans it out
+    across its worker pool; per-candidate *bounded* sweeps stay serial
+    because the lexicographic pruning is inherently sequential.
     """
     if reuse is None:
         reuse = evaluator.evaluate_normal(setting)
         stats.evaluations += 1
+    evaluation = evaluator.evaluate_failures(setting, failures, reuse=reuse)
+    stats.evaluations += len(evaluation)
     costs = []
     lam = 0.0
     phi = 0.0
-    for scenario in failures:
-        outcome = evaluator.evaluate(setting, scenario, reuse=reuse)
-        stats.evaluations += 1
+    for scenario, outcome in zip(failures, evaluation.evaluations):
         costs.append((outcome.cost.lam, outcome.cost.phi, scenario))
         lam += outcome.cost.lam
         phi += outcome.cost.phi

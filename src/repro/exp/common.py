@@ -18,6 +18,7 @@ from repro.analysis.tables import render_kv, render_table
 from repro.config import OptimizerConfig
 from repro.core.evaluation import DtrEvaluator
 from repro.core.optimizer import RobustDtrOptimizer, RobustRoutingResult
+from repro.core.parallel import make_evaluator
 from repro.exp.presets import Preset, get_preset
 from repro.routing.failures import FailureModel
 from repro.routing.network import Network
@@ -130,7 +131,11 @@ def run_arms(
     critical_fraction: float | None = None,
     full_search: bool = False,
 ) -> RobustRoutingResult:
-    """Run the two-phase optimizer on an instance (robust + regular arms)."""
+    """Run the two-phase optimizer on an instance (robust + regular arms).
+
+    The optimizer's worker pool (if ``config.execution`` requests one) is
+    torn down before returning so repeated arms don't accumulate pools.
+    """
     rng = instance_rng(seed, _SEARCH_STREAM)
     optimizer = RobustDtrOptimizer(
         instance.network,
@@ -139,16 +144,23 @@ def run_arms(
         failure_model=FailureModel.LINK,
         rng=rng,
     )
-    return optimizer.run(
-        critical_fraction=critical_fraction, full_search=full_search
-    )
+    try:
+        return optimizer.run(
+            critical_fraction=critical_fraction, full_search=full_search
+        )
+    finally:
+        optimizer.close()
 
 
 def evaluator_for(
     instance: Instance, config: OptimizerConfig
 ) -> DtrEvaluator:
-    """A fresh cost oracle for an instance."""
-    return DtrEvaluator(instance.network, instance.traffic, config)
+    """A fresh cost oracle for an instance.
+
+    Honors ``config.execution``: a parallel or caching evaluator is
+    returned when configured (bit-identical results either way).
+    """
+    return make_evaluator(instance.network, instance.traffic, config)
 
 
 @dataclass

@@ -8,9 +8,6 @@ the violation spikes and also shave the worst throughput-cost failures.
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.analysis.metrics import normalized_series
 from repro.analysis.series import FigureData, Series
 from repro.exp.common import (
     ExperimentResult,

@@ -4,21 +4,25 @@ Usage::
 
     repro-exp --list
     repro-exp table2 --preset quick --seed 0
+    repro-exp table2 --preset quick --jobs 4
     repro-exp all --preset default
 
 Each experiment prints the table rows and figure series the corresponding
-paper artifact reports.
+paper artifact reports.  ``--jobs`` fans failure sweeps out across worker
+processes (0 = one per CPU); results are bit-identical to serial runs.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import importlib
 import sys
 import time
 from typing import Callable
 
 from repro.exp.common import ExperimentResult
+from repro.exp.presets import get_preset
 
 #: Registered experiment ids: paper artifacts in paper order, then the
 #: supporting/extension experiments (Sections IV-C, V-B, V-F footnote 16,
@@ -60,10 +64,29 @@ def load_experiment(
 
 
 def run_experiment(
-    experiment_id: str, preset: str = "quick", seed: int = 0
+    experiment_id: str,
+    preset: str = "quick",
+    seed: int = 0,
+    jobs: int | None = None,
 ) -> ExperimentResult:
-    """Run one experiment and return its result."""
-    return load_experiment(experiment_id)(preset=preset, seed=seed)
+    """Run one experiment and return its result.
+
+    Args:
+        experiment_id: registered experiment id.
+        preset: execution-scale preset name (or a Preset object).
+        seed: base seed.
+        jobs: evaluation workers; None keeps the preset's setting, 0
+            means one worker per CPU.
+    """
+    resolved = get_preset(preset)
+    if jobs is not None:
+        config = resolved.config.replace(
+            execution=dataclasses.replace(
+                resolved.config.execution, n_jobs=jobs
+            )
+        )
+        resolved = dataclasses.replace(resolved, config=config)
+    return load_experiment(experiment_id)(preset=resolved, seed=seed)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -88,9 +111,18 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0, help="base seed")
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="evaluation workers (0 = one per CPU; default: serial)",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list experiment ids"
     )
     args = parser.parse_args(argv)
+
+    if args.jobs is not None and args.jobs < 0:
+        parser.error("--jobs must be >= 0 (0 = one worker per CPU)")
 
     if args.list or not args.experiment:
         print("available experiments:")
@@ -104,7 +136,10 @@ def main(argv: list[str] | None = None) -> int:
     for experiment_id in targets:
         start = time.perf_counter()
         result = run_experiment(
-            experiment_id, preset=args.preset, seed=args.seed
+            experiment_id,
+            preset=args.preset,
+            seed=args.seed,
+            jobs=args.jobs,
         )
         elapsed = time.perf_counter() - start
         print(result.render())

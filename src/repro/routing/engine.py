@@ -14,7 +14,7 @@ per-destination propagations through the pure-Python kernels of
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -36,7 +36,13 @@ class ClassRouting:
     """Shortest-path routing of one traffic class under one scenario.
 
     Attributes:
-        network: the topology routed over.
+        network: the topology routed over.  This back-reference is for
+            convenience only — no consumer of a routing needs it to
+            interpret the arrays — and it is *dropped on pickling* so a
+            routing serializes as a few small arrays instead of dragging
+            the whole topology across process boundaries (the parallel
+            evaluator ships routings to worker processes).  Use
+            :meth:`bind` to re-attach a network after unpickling.
         scenario: the failure scenario in force.
         dist: ``(N, N)`` distance matrix under the class weights.
         destinations: destination ids that carry demand, ascending.
@@ -48,7 +54,7 @@ class ClassRouting:
         undelivered: demand volume lost to disconnection.
     """
 
-    network: Network
+    network: Network | None
     scenario: FailureScenario
     dist: np.ndarray
     destinations: np.ndarray
@@ -56,6 +62,21 @@ class ClassRouting:
     loads: np.ndarray
     demands: np.ndarray
     undelivered: float
+
+    def __getstate__(self) -> dict[str, object]:
+        state = dict(self.__dict__)
+        state["network"] = None
+        return state
+
+    def bind(self, network: Network) -> "ClassRouting":
+        """A copy with the network back-reference re-attached."""
+        return replace(self, network=network)
+
+    def used_arcs(self) -> np.ndarray:
+        """Arcs lying on any demand-carrying shortest-path DAG."""
+        if self.masks.shape[0] == 0:
+            return np.zeros(self.masks.shape[1], dtype=bool)
+        return self.masks.any(axis=0)
 
     def mask_for(self, t: int) -> np.ndarray:
         """The shortest-DAG arc mask towards destination ``t``."""

@@ -10,7 +10,7 @@ failed node, since it is undeliverable (policy documented in DESIGN.md).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Iterator, Sequence
 

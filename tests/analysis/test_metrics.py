@@ -12,7 +12,6 @@ from repro.analysis.metrics import (
     sorted_pair_delays_ms,
     utilization_increase_after_failure,
 )
-from repro.core.weights import WeightSetting
 from repro.routing.failures import single_link_failures
 
 

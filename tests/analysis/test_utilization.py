@@ -1,6 +1,5 @@
 """Tests for utilization statistics."""
 
-import pytest
 
 from repro.analysis.utilization import (
     average_link_utilization,

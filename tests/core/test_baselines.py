@@ -71,6 +71,7 @@ class TestFluctuationSelection:
             )
 
 
+@pytest.mark.slow  # each baseline runs a full failure-sweep optimization
 class TestBaselineOptimizers:
     @pytest.fixture(scope="class")
     def pipeline(self):

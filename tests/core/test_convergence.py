@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.config import SamplingParams
 from repro.core.convergence import (
     RankConvergenceTracker,
     rank_positions,

@@ -5,7 +5,6 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.core.evaluation import DtrEvaluator
 from repro.core.weights import WeightSetting
 from repro.routing.failures import (
     single_link_failures,
@@ -88,6 +87,7 @@ class TestEvaluateFailures:
         assert outcome.sla.pairs == (n - 1) * (n - 2)
 
 
+@pytest.mark.slow  # property-based sweep over every single-link failure
 class TestReuseShortcut:
     # the evaluator fixture is stateless apart from a call counter, so
     # sharing it across generated examples is safe

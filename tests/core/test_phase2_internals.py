@@ -1,6 +1,5 @@
 """Unit tests for Phase-2 internals: ordering, pruning, reuse."""
 
-import numpy as np
 import pytest
 
 from repro.core.lexicographic import CostPair

@@ -9,6 +9,8 @@ import pytest
 
 from repro.core.evaluation import DtrEvaluator
 from repro.core.lexicographic import CostPair
+
+pytestmark = pytest.mark.slow  # real search loops over failure sweeps
 from repro.core.optimizer import RobustDtrOptimizer
 from repro.core.phase1 import run_phase1
 from repro.core.phase2 import (

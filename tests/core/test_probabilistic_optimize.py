@@ -14,6 +14,8 @@ from repro.core.probabilistic import (
 )
 from repro.routing.failures import single_link_failures
 
+pytestmark = pytest.mark.slow  # full probabilistic search + failure sweep
+
 
 @pytest.fixture(scope="module")
 def probabilistic_run():

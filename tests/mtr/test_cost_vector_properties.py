@@ -1,6 +1,5 @@
 """Property tests: the k-component lexicographic order is lawful."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

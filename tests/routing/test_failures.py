@@ -1,6 +1,5 @@
 """Tests for failure-scenario machinery."""
 
-import numpy as np
 import pytest
 
 from repro.routing.failures import (

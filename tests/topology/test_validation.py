@@ -1,6 +1,5 @@
 """Tests for topology validation and repair helpers."""
 
-import numpy as np
 import pytest
 
 from repro.topology.validation import (
