@@ -18,6 +18,7 @@ from dataclasses import dataclass
 import networkx as nx
 import numpy as np
 
+from repro.routing.fastpath import PropagationPlan
 from repro.routing.network import Network
 from repro.routing.spf import (
     distance_matrix,
@@ -51,9 +52,10 @@ def ecmp_path_counts(
     dist = distance_matrix(network, weights)
     n = network.num_nodes
     counts = np.zeros((n, n))
+    plan = PropagationPlan.for_network(network)
     for t in range(n):
         mask = shortest_arc_mask(network, weights, dist[:, t])
-        counts[:, t] = path_counts(network, mask, dist[:, t], t)
+        counts[:, t] = path_counts(network, mask, dist[:, t], t, plan=plan)
     np.fill_diagonal(counts, 0.0)
     return counts
 

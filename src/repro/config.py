@@ -229,6 +229,12 @@ class ExecutionParams:
         routing_cache: enable the incremental routing cache that reuses
             class routings across weight settings and scenarios.
         cache_size: maximum number of cached class routings.
+        incremental_routing: answer single-arc weight moves and failure
+            scenarios with the delta-rerouting core
+            (:class:`repro.routing.incremental.IncrementalRouter`):
+            only destinations the delta can affect are re-routed.
+            Bit-identical to from-scratch routing; off switches every
+            evaluation back to full recomputation (for A/B checks).
     """
 
     n_jobs: int = 1
@@ -236,6 +242,7 @@ class ExecutionParams:
     chunk_size: int | None = None
     routing_cache: bool = True
     cache_size: int = 512
+    incremental_routing: bool = True
 
     def __post_init__(self) -> None:
         if self.n_jobs < 0:

@@ -16,10 +16,22 @@ class's routing when it fails (removing a never-shortest arc leaves all
 shortest distances, DAGs and loads untouched), so the normal routing is
 reused.  Passing the normal-scenario evaluation as ``reuse`` enables the
 shortcut; tests pin it against the direct computation.
+
+That shortcut is the trivial (all-destinations-unaffected) case of the
+delta-rerouting core (:mod:`repro.routing.incremental`), which the
+evaluator uses for every routing when
+``config.execution.incremental_routing`` is on (the default): single-arc
+weight moves (:meth:`DtrEvaluator.evaluate_move` /
+:meth:`DtrEvaluator.revert_move`) and failure scenarios re-route only
+the destinations the delta can affect, and path-delay columns of
+untouched destinations are copied from the ``reuse`` evaluation instead
+of re-propagated.  All of it is bit-identical to from-scratch
+evaluation; tests pin the parity.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -28,10 +40,12 @@ from repro.config import OptimizerConfig
 from repro.core.delay import arc_delays
 from repro.core.fortz import fortz_cost
 from repro.core.lexicographic import CostPair
+from repro.core.perturbation import Move
 from repro.core.sla import SlaOutcome, sla_outcome
 from repro.core.weights import WeightSetting
-from repro.routing.engine import ClassRouting, RoutingEngine
+from repro.routing.engine import ClassRouting, PathDelayReuse, RoutingEngine
 from repro.routing.failures import NORMAL, FailureScenario, FailureSet
+from repro.routing.incremental import IncrementalRouter
 from repro.routing.network import Network
 from repro.traffic.gravity import DtrTraffic
 
@@ -140,6 +154,9 @@ class DtrEvaluator:
         self._delay_mode = delay_mode
         self._engine = RoutingEngine(network)
         self._num_evaluations = 0
+        self._incremental = config.execution.incremental_routing
+        self._routers: dict[str, IncrementalRouter] = {}
+        self._router_lock = threading.RLock()
 
     # ------------------------------------------------------------------
     @property
@@ -195,7 +212,10 @@ class DtrEvaluator:
             scenario: failure scenario.
             reuse: a NORMAL-scenario evaluation *of the same setting*
                 (with routings attached); classes whose shortest-path
-                DAGs avoid every failed arc are not re-routed.
+                DAGs avoid every failed arc are not re-routed, and with
+                incremental routing the unaffected destinations of
+                partially-affected classes reuse their distance, mask and
+                path-delay columns too.
         """
         if setting.num_arcs != self._network.num_arcs:
             raise ValueError("weight setting does not match the network")
@@ -203,6 +223,7 @@ class DtrEvaluator:
 
         routing_d: ClassRouting | None = None
         routing_t: ClassRouting | None = None
+        reusable_d: frozenset[int] | None = None
         if (
             reuse is not None
             and scenario.failed_arcs
@@ -213,6 +234,9 @@ class DtrEvaluator:
             failed = list(scenario.failed_arcs)
             if not reuse.routing_delay.used_arcs()[failed].any():
                 routing_d = reuse.routing_delay
+                reusable_d = frozenset(
+                    int(t) for t in routing_d.destinations
+                )
             if not reuse.routing_tput.used_arcs()[failed].any():
                 routing_t = reuse.routing_tput
             if routing_d is not None and routing_t is not None:
@@ -224,16 +248,26 @@ class DtrEvaluator:
                     routing_tput=None,
                 )
 
+        base_d = (
+            reuse.routing_delay
+            if reuse is not None and reuse.scenario.is_normal
+            else None
+        )
         if routing_d is None:
-            routing_d = self._route(
-                "delay", setting.delay, self._traffic.delay.values, scenario
+            routing_d, reusable_d = self._route_with_reuse(
+                "delay",
+                setting.delay,
+                self._traffic.delay.values,
+                scenario,
+                base_d,
             )
         if routing_t is None:
-            routing_t = self._route(
+            routing_t, _ = self._route_with_reuse(
                 "tput",
                 setting.tput,
                 self._traffic.throughput.values,
                 scenario,
+                None,
             )
         total = routing_d.loads + routing_t.loads
         delays = arc_delays(
@@ -242,8 +276,23 @@ class DtrEvaluator:
             self._network.prop_delay,
             self._config.delay,
         )
+        delay_reuse = None
+        if (
+            reusable_d
+            and reuse is not None
+            and reuse.scenario.is_normal
+        ):
+            delay_reuse = PathDelayReuse(
+                pair_delays=reuse.pair_delays,
+                arc_delays=reuse.arc_delay,
+                reusable=reusable_d,
+            )
         pair_delays = self._engine.path_delays(
-            routing_d, delays, mode=self._delay_mode
+            routing_d,
+            delays,
+            mode=self._delay_mode,
+            reuse=delay_reuse,
+            memo=self._incremental,
         )
         sla = sla_outcome(pair_delays, routing_d.demands, self._config.sla)
         phi = fortz_cost(
@@ -262,6 +311,58 @@ class DtrEvaluator:
             routing_tput=routing_t,
         )
 
+    def _router_for(
+        self, class_id: str, weights: np.ndarray, demands: np.ndarray
+    ) -> IncrementalRouter:
+        """The per-class incremental router (built on first use)."""
+        router = self._routers.get(class_id)
+        if router is None:
+            router = IncrementalRouter(
+                self._network, demands, weights, plan=self._engine.plan
+            )
+            self._routers[class_id] = router
+        return router
+
+    def _route_with_reuse(
+        self,
+        class_id: str,
+        weights: np.ndarray,
+        demands: np.ndarray,
+        scenario: FailureScenario,
+        base_routing: ClassRouting | None,
+    ) -> tuple[ClassRouting, frozenset[int] | None]:
+        """Route one class, reporting which destinations match the base.
+
+        The second element names the destinations whose distance column
+        and DAG-mask row are bit-identical to ``base_routing``'s (for
+        path-delay column reuse); None when nothing can be claimed.
+        Weights and demands are *not* re-validated here: weights come
+        from a :class:`WeightSetting` (``>= 1`` enforced on
+        construction, arc count checked in :meth:`evaluate`) and demands
+        from the traffic instance validated in ``__init__``.
+        """
+        if not self._incremental:
+            return (
+                self._engine.route_class(
+                    weights, demands, scenario, validate=False
+                ),
+                None,
+            )
+        with self._router_lock:
+            router = self._router_for(class_id, weights, demands)
+            router.sync(weights)
+            if scenario.is_normal:
+                reusable = router.matching_destinations(base_routing)
+                return router.routing, reusable
+            scenario_routing = router.route_scenario(
+                scenario, want_reusable=base_routing is not None
+            )
+            return scenario_routing.routing, (
+                scenario_routing.reusable
+                if base_routing is not None
+                else None
+            )
+
     def _route(
         self,
         class_id: str,
@@ -271,14 +372,68 @@ class DtrEvaluator:
     ) -> ClassRouting:
         """Route one class; subclasses may interpose a routing cache.
 
-        ``class_id`` (``"delay"`` / ``"tput"``) namespaces cache entries;
-        the serial evaluator routes directly.
+        ``class_id`` (``"delay"`` / ``"tput"``) namespaces cache entries.
         """
-        return self._engine.route_class(weights, demands, scenario)
+        return self._route_with_reuse(
+            class_id, weights, demands, scenario, None
+        )[0]
 
     def evaluate_normal(self, setting: WeightSetting) -> ScenarioEvaluation:
         """Cost under the failure-free scenario."""
         return self.evaluate(setting, NORMAL)
+
+    def evaluate_move(
+        self,
+        setting: WeightSetting,
+        move: Move,
+        reuse: ScenarioEvaluation | None = None,
+    ) -> ScenarioEvaluation:
+        """Failure-free cost of a candidate one :class:`Move` from its base.
+
+        The local-search fast path, bit-identical to
+        ``evaluate_normal(setting)``.  ``move`` is the single-arc delta
+        that produced ``setting``; with incremental routing it is applied
+        to the per-class routers directly (O(affected destinations) —
+        often zero, e.g. a weight increase on an off-DAG arc), and
+        ``reuse`` — the *base* setting's normal evaluation, as returned
+        by the previous ``evaluate_move`` / ``evaluate_normal`` call on
+        this evaluator — lets untouched destinations reuse their
+        path-delay columns as well.  Both hints are safe against protocol
+        drift: the router diffs the requested weights itself and falls
+        back to a rebuild, and a base that does not match the router
+        state is ignored.
+        """
+        if self._incremental and move is not None:
+            with self._router_lock:
+                for class_id, arc, old, new in move.deltas:
+                    router = self._routers.get(class_id)
+                    if (
+                        router is not None
+                        and router.weight_of(arc) == float(old)
+                    ):
+                        router.set_arc_weight(arc, new)
+        return self.evaluate(setting, NORMAL, reuse=reuse)
+
+    def revert_move(self, setting: WeightSetting, move: Move) -> None:
+        """Restore the routers after a rejected move, in O(affected).
+
+        The counterpart of :meth:`evaluate_move`: ``move.revert(...)``
+        restores the *weight setting*; this restores the evaluator's
+        incremental router state so the next candidate is again a
+        single-arc delta.  A no-op without incremental routing, and safe
+        to skip entirely — the routers re-diff on the next evaluation.
+        """
+        del setting  # the routers track their own weights
+        if not self._incremental:
+            return
+        with self._router_lock:
+            for class_id, arc, old, new in move.deltas:
+                router = self._routers.get(class_id)
+                if (
+                    router is not None
+                    and router.weight_of(arc) == float(new)
+                ):
+                    router.set_arc_weight(arc, old)
 
     def evaluate_normal_batch(
         self, settings: "list[WeightSetting] | tuple[WeightSetting, ...]"

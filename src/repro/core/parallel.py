@@ -13,7 +13,11 @@ without changing a single computed bit:
   demand-carrying shortest-path DAG cannot alter any shortest distance,
   DAG or load (arc removal is the limit of that weight going to
   infinity), so the cached routing is returned unchanged.  Local-search
-  moves are single-arc, which makes this the common case.
+  moves are single-arc, which makes this the common case.  Cache misses
+  route through the delta-rerouting core
+  (:mod:`repro.routing.incremental`) when it is enabled, and the
+  incremental result — bit-identical to a from-scratch routing — is
+  cached like any other.
 
 * :class:`CachingDtrEvaluator` — a drop-in evaluator that interposes the
   cache on every class routing.
@@ -257,20 +261,33 @@ class CachingDtrEvaluator(DtrEvaluator):
             return CacheStats()
         return self._cache.stats
 
-    def _route(
+    def _route_with_reuse(
         self,
         class_id: str,
         weights: np.ndarray,
         demands: np.ndarray,
         scenario: FailureScenario,
-    ) -> ClassRouting:
+        base_routing: ClassRouting | None,
+    ) -> tuple[ClassRouting, "frozenset[int] | None"]:
+        """Cache layer over the (incremental) routing path.
+
+        An exact cache hit skips routing entirely; misses go through the
+        incremental router (when enabled), and the incremental result is
+        a perfectly cacheable routing — it is bit-identical to a
+        from-scratch one — so it is stored like any other.
+        """
         if self._cache is None:
-            return self._engine.route_class(weights, demands, scenario)
+            return super()._route_with_reuse(
+                class_id, weights, demands, scenario, base_routing
+            )
         routing = self._cache.get(class_id, scenario, weights)
+        reusable: frozenset[int] | None = None
         if routing is None:
-            routing = self._engine.route_class(weights, demands, scenario)
+            routing, reusable = super()._route_with_reuse(
+                class_id, weights, demands, scenario, base_routing
+            )
         self._cache.put(class_id, scenario, weights, routing)
-        return routing
+        return routing, reusable
 
 
 # ----------------------------------------------------------------------

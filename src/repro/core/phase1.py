@@ -1,5 +1,10 @@
 """Phase 1: regular optimization plus critical-link identification.
 
+Candidate moves are evaluated through the evaluator's incremental
+:meth:`~repro.core.evaluation.DtrEvaluator.evaluate_move` fast path
+(single-arc delta-rerouting); rejected moves restore the router state
+with :meth:`~repro.core.evaluation.DtrEvaluator.revert_move`.
+
 Phase 1a (Section IV-A) locally searches for the best failure-free DTR
 weight setting while opportunistically recording failure-cost samples:
 whenever a perturbation starting from an acceptable setting pushes both
@@ -181,7 +186,8 @@ def run_phase1a(
     num_arcs = evaluator.network.num_arcs
 
     current = WeightSetting.random(num_arcs, wp, rng)
-    cur_cost = evaluator.evaluate_normal(current).cost
+    cur_eval = evaluator.evaluate_normal(current)
+    cur_cost = cur_eval.cost
     stats.evaluations += 1
     best_setting = current.copy()
     best_cost = cur_cost
@@ -207,13 +213,15 @@ def run_phase1a(
             if not move.changes_anything:
                 continue
             move.apply(current)
-            cand_cost = evaluator.evaluate_normal(current).cost
+            cand_eval = evaluator.evaluate_move(current, move, reuse=cur_eval)
+            cand_cost = cand_eval.cost
             stats.evaluations += 1
             if collector is not None and collector.observe_move(
                 move, cur_cost, cand_cost, best_cost
             ):
                 stats.samples_recorded += 1
             if cand_cost.is_better_than(cur_cost):
+                cur_eval = cand_eval
                 cur_cost = cand_cost
                 improved = True
                 stats.accepted_moves += 1
@@ -224,6 +232,7 @@ def run_phase1a(
                 pool.offer(current, cand_cost, best_cost)
             else:
                 move.revert(current)
+                evaluator.revert_move(current, move)
         stats.iterations += 1
         if controller.note_iteration(improved):
             controller.note_diversification(
@@ -234,7 +243,8 @@ def run_phase1a(
                 break
             round_start_cost = best_cost
             current = WeightSetting.random(num_arcs, wp, rng)
-            cur_cost = evaluator.evaluate_normal(current).cost
+            cur_eval = evaluator.evaluate_normal(current)
+            cur_cost = cur_eval.cost
             stats.evaluations += 1
 
     pool.rebase(best_cost)

@@ -8,9 +8,14 @@ constraints of Eqs. (5)-(6): the delay cost must stay at ``Lambda*`` and
 the throughput cost within ``(1 + chi) Phi*``.
 
 Candidate evaluation is the hot path: the normal-scenario constraint
-check runs first (one evaluation) and the per-scenario failure sweep is
-abandoned as soon as its partial lexicographic cost can no longer beat
-the incumbent (costs only grow as scenarios accumulate).
+check runs first (one evaluation, through the evaluator's incremental
+:meth:`~repro.core.evaluation.DtrEvaluator.evaluate_move` fast path)
+and the per-scenario failure sweep is abandoned as soon as its partial
+lexicographic cost can no longer beat the incumbent (costs only grow as
+scenarios accumulate).  Rejected moves restore the evaluator's
+incremental router state via
+:meth:`~repro.core.evaluation.DtrEvaluator.revert_move` in O(affected
+destinations).
 """
 
 from __future__ import annotations
@@ -182,8 +187,12 @@ def run_phase2(
     stats = SearchStats()
 
     current = starts[0].setting.copy()
-    cur_normal = starts[0].cost
-    ordered, cur_kfail = _ordered_sweep(evaluator, current, failures, stats)
+    cur_normal_eval = evaluator.evaluate_normal(current)
+    cur_normal = cur_normal_eval.cost
+    stats.evaluations += 1
+    ordered, cur_kfail = _ordered_sweep(
+        evaluator, current, failures, stats, reuse=cur_normal_eval
+    )
     best_setting = current.copy()
     best_kfail = cur_kfail
 
@@ -204,11 +213,14 @@ def run_phase2(
             if not move.changes_anything:
                 continue
             move.apply(current)
-            cand_normal_eval = evaluator.evaluate_normal(current)
+            cand_normal_eval = evaluator.evaluate_move(
+                current, move, reuse=cur_normal_eval
+            )
             cand_normal = cand_normal_eval.cost
             stats.evaluations += 1
             if not constraints.satisfied_by(cand_normal):
                 move.revert(current)
+                evaluator.revert_move(current, move)
                 continue
             cand_kfail = bounded_failure_cost(
                 evaluator,
@@ -223,6 +235,7 @@ def run_phase2(
             ):
                 cur_kfail = cand_kfail
                 cur_normal = cand_normal
+                cur_normal_eval = cand_normal_eval
                 improved = True
                 stats.accepted_moves += 1
                 if cand_kfail.is_better_than(best_kfail):
@@ -230,6 +243,7 @@ def run_phase2(
                     best_setting = current.copy()
             else:
                 move.revert(current)
+                evaluator.revert_move(current, move)
         stats.iterations += 1
         if controller.note_iteration(improved):
             controller.note_diversification(
@@ -239,10 +253,16 @@ def run_phase2(
             if controller.should_stop():
                 break
             round_start_cost = best_kfail
-            current, cur_normal, ordered, cur_kfail = _diversified_start(
+            (
+                current,
+                cur_normal_eval,
+                ordered,
+                cur_kfail,
+            ) = _diversified_start(
                 evaluator, failures, starts, constraints, rng, next_start,
                 stats,
             )
+            cur_normal = cur_normal_eval.cost
             next_start += 1
 
     normal_cost = evaluator.evaluate_normal(best_setting).cost
@@ -265,7 +285,7 @@ def _diversified_start(
     rng: np.random.Generator,
     round_index: int,
     stats: SearchStats,
-) -> tuple[WeightSetting, CostPair, list, CostPair]:
+) -> tuple[WeightSetting, "ScenarioEvaluation", list, CostPair]:
     """Next diversification start: a pool setting, lightly scrambled.
 
     The scramble is kept only when it still satisfies the constraints
@@ -284,4 +304,4 @@ def _diversified_start(
     ordered, kfail = _ordered_sweep(
         evaluator, candidate, failures, stats, reuse=normal_eval
     )
-    return candidate, normal_eval.cost, ordered, kfail
+    return candidate, normal_eval, ordered, kfail

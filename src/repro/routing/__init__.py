@@ -1,7 +1,12 @@
 """Routing substrate: directed network model, SPF/ECMP engine, failures."""
 
 from repro.routing.arcs import Arc
-from repro.routing.engine import ClassRouting, RoutingEngine
+from repro.routing.engine import (
+    ClassRouting,
+    PathDelayReuse,
+    RoutingEngine,
+)
+from repro.routing.incremental import IncrementalRouter, ScenarioRouting
 from repro.routing.failures import (
     NORMAL,
     FailureModel,
@@ -22,10 +27,13 @@ __all__ = [
     "FailureModel",
     "FailureScenario",
     "FailureSet",
+    "IncrementalRouter",
     "NORMAL",
     "Network",
     "NetworkState",
+    "PathDelayReuse",
     "RoutingEngine",
+    "ScenarioRouting",
     "dual_link_failures",
     "single_arc_failures",
     "single_failures",

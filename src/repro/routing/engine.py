@@ -14,6 +14,8 @@ per-destination propagations through the pure-Python kernels of
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -44,7 +46,9 @@ class ClassRouting:
             evaluator ships routings to worker processes).  Use
             :meth:`bind` to re-attach a network after unpickling.
         scenario: the failure scenario in force.
-        dist: ``(N, N)`` distance matrix under the class weights.
+        dist: ``(N, N)`` distance matrix under the class weights; only
+            the demand-carrying ``destinations`` columns are computed
+            (no consumer reads any other column), the rest are ``inf``.
         destinations: destination ids that carry demand, ascending.
         masks: ``(len(destinations), num_arcs)`` boolean DAG-membership
             rows, aligned with ``destinations``.
@@ -73,10 +77,19 @@ class ClassRouting:
         return replace(self, network=network)
 
     def used_arcs(self) -> np.ndarray:
-        """Arcs lying on any demand-carrying shortest-path DAG."""
-        if self.masks.shape[0] == 0:
-            return np.zeros(self.masks.shape[1], dtype=bool)
-        return self.masks.any(axis=0)
+        """Arcs lying on any demand-carrying shortest-path DAG.
+
+        Computed once and cached — failure sweeps consult the same
+        routing's used-arc set for every scenario.
+        """
+        cached = self.__dict__.get("_used_arcs")
+        if cached is None:
+            if self.masks.shape[0] == 0:
+                cached = np.zeros(self.masks.shape[1], dtype=bool)
+            else:
+                cached = self.masks.any(axis=0)
+            object.__setattr__(self, "_used_arcs", cached)
+        return cached
 
     def mask_for(self, t: int) -> np.ndarray:
         """The shortest-DAG arc mask towards destination ``t``."""
@@ -86,17 +99,48 @@ class ClassRouting:
         return self.masks[idx]
 
 
+@dataclass(frozen=True)
+class PathDelayReuse:
+    """Base-evaluation delay columns reusable by :meth:`RoutingEngine.
+    path_delays` under a localized load change.
+
+    Attributes:
+        pair_delays: the base ``(N, N)`` path-delay matrix.
+        arc_delays: the per-arc delays the base matrix was computed from.
+        reusable: destinations whose distance column and mask row in the
+            *current* routing are identical to the base routing's (the
+            incremental router reports these).
+    """
+
+    pair_delays: np.ndarray
+    arc_delays: np.ndarray
+    reusable: frozenset[int]
+
+
 class RoutingEngine:
     """Computes ECMP routings, loads, and path delays for one network."""
+
+    #: Capacity of the per-destination path-delay memo.
+    _DELAY_MEMO_SIZE = 16384
 
     def __init__(self, network: Network) -> None:
         self._network = network
         self._plan = PropagationPlan.for_network(network)
+        self._delay_memo: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        # The thread-pool evaluator shares one engine across workers;
+        # memo bookkeeping (get + move_to_end, insert + evict) must not
+        # interleave.
+        self._delay_memo_lock = threading.Lock()
 
     @property
     def network(self) -> Network:
         """The topology this engine routes over."""
         return self._network
+
+    @property
+    def plan(self) -> PropagationPlan:
+        """The propagation plan (shareable with an incremental router)."""
+        return self._plan
 
     # ------------------------------------------------------------------
     # routing
@@ -106,17 +150,25 @@ class RoutingEngine:
         weights: np.ndarray,
         demands: np.ndarray,
         scenario: FailureScenario = NORMAL,
+        validate: bool = True,
     ) -> ClassRouting:
         """Route one traffic class and return its loads and DAG structure.
+
+        Only the demand-carrying distance columns are computed (Dijkstra
+        on the reversed graph), since they are all the engine — and every
+        downstream consumer — ever reads.
 
         Args:
             weights: per-arc weights of this class, integer-valued >= 1.
             demands: ``(N, N)`` demand matrix in bits/s; diagonal ignored.
             scenario: failure scenario (dead arcs, removed nodes).
+            validate: skip the weight/demand shape checks when False
+                (the evaluator validates once per setting instead of once
+                per scenario of a sweep).
         """
         net = self._network
         demands = np.asarray(demands, dtype=np.float64)
-        if demands.shape != (net.num_nodes, net.num_nodes):
+        if validate and demands.shape != (net.num_nodes, net.num_nodes):
             raise ValueError("demand matrix shape must be (N, N)")
         if scenario.removed_nodes:
             demands = demands.copy()
@@ -130,8 +182,14 @@ class RoutingEngine:
             else None
         )
         weights = np.asarray(weights, dtype=np.float64)
-        dist = distance_matrix(net, weights, disabled)
         destinations = np.flatnonzero(demands.sum(axis=0) > 0.0)
+        dist = distance_matrix(
+            net,
+            weights,
+            disabled,
+            destinations=destinations,
+            validate=validate,
+        )
         masks = all_destination_masks(
             net, weights, dist, disabled, destinations
         )
@@ -166,6 +224,8 @@ class RoutingEngine:
         routing: ClassRouting,
         arc_delays: np.ndarray,
         mode: str = "worst",
+        reuse: "PathDelayReuse | None" = None,
+        memo: bool = False,
     ) -> np.ndarray:
         """End-to-end path delay for every SD pair of a routed class.
 
@@ -175,6 +235,20 @@ class RoutingEngine:
                 from the *total* load across both classes.
             mode: ``"worst"`` (max over used ECMP paths, the default SLA
                 evaluation) or ``"mean"`` (flow-weighted average).
+            reuse: optional base-evaluation columns to copy instead of
+                re-propagating.  A destination's delay column depends
+                only on its DAG mask, its distance ordering, and the arc
+                delays of *masked* arcs, so a destination in
+                ``reuse.reusable`` (identical dist column and mask row in
+                the base routing) whose mask avoids every arc with a
+                changed delay gets its base column verbatim — bit-identical
+                to re-propagation.
+            memo: additionally memoize delay columns on ``(mode,
+                destination, mask, dist, masked arc delays)`` — the exact
+                inputs the propagation is a pure function of, so hits
+                replay identical floats.  Off by default; the evaluator
+                opts in alongside incremental routing (sweep states
+                recur across local-search candidates).
 
         Returns:
             ``(N, N)`` matrix; entry ``(s, t)`` is the path delay for the
@@ -188,18 +262,56 @@ class RoutingEngine:
         else:
             raise ValueError(f"unknown delay mode {mode!r}")
         net = self._network
-        delays_list = np.asarray(arc_delays, dtype=np.float64).tolist()
+        arc_delays = np.asarray(arc_delays, dtype=np.float64)
+        changed = (
+            arc_delays != reuse.arc_delays if reuse is not None else None
+        )
+        delays_list = arc_delays.tolist()
         out = np.full((net.num_nodes, net.num_nodes), np.nan)
         for row, t in enumerate(routing.destinations):
-            delays = propagate(
+            t = int(t)
+            mask_row = routing.masks[row]
+            if (
+                reuse is not None
+                and t in reuse.reusable
+                and not bool(mask_row[changed].any())
+            ):
+                out[:, t] = reuse.pair_delays[:, t]
+                continue
+            key = None
+            if memo:
+                # The DP result is a pure function of (mode, t, mask,
+                # masked delays): the distance column only supplies a
+                # topological order of the DAG, and any topological
+                # order yields the same bits (max is order-invariant,
+                # mean accumulates in fixed arc order).
+                key = (
+                    mode,
+                    t,
+                    mask_row.tobytes(),
+                    arc_delays[mask_row].tobytes(),
+                )
+                with self._delay_memo_lock:
+                    cached = self._delay_memo.get(key)
+                    if cached is not None:
+                        self._delay_memo.move_to_end(key)
+                if cached is not None:
+                    out[:, t] = cached
+                    continue
+            column = propagate(
                 self._plan,
-                routing.masks[row],
+                mask_row,
                 routing.dist[:, t],
                 delays_list,
-                int(t),
+                t,
             )
-            out[:, t] = delays
+            out[:, t] = column
             out[t, t] = np.nan
+            if key is not None:
+                with self._delay_memo_lock:
+                    self._delay_memo[key] = out[:, t].copy()
+                    while len(self._delay_memo) > self._DELAY_MEMO_SIZE:
+                        self._delay_memo.popitem(last=False)
         return out
 
     def path_max_utilization(

@@ -114,6 +114,63 @@ def fast_propagate_loads(
     return undelivered
 
 
+def fast_path_counts(
+    plan: PropagationPlan,
+    mask_row: np.ndarray,
+    dist_to_t: np.ndarray,
+    t: int,
+) -> list[float]:
+    """Pure-Python counterpart of ``loader.path_counts_reference``.
+
+    Shortest-path counts per node towards ``t`` by DP over the DAG in
+    increasing distance order.  Counts are integer-valued floats, so the
+    sequential sums are exact and match the numpy reference bit for bit.
+    """
+    finite = np.isfinite(dist_to_t)
+    order = np.flatnonzero(finite)[
+        np.argsort(dist_to_t[finite], kind="stable")
+    ].tolist()
+    mask = mask_row.tolist()
+    counts = [0.0] * len(dist_to_t)
+    counts[t] = 1.0
+    out_arcs = plan.out_arcs
+    arc_dst = plan.arc_dst
+    for u in order:
+        if u == t:
+            continue
+        total = 0.0
+        for a in out_arcs[u]:
+            if mask[a]:
+                total += counts[arc_dst[a]]
+        counts[u] = total
+    return counts
+
+
+def destination_mask_rows(
+    network: Network,
+    weights: np.ndarray,
+    dist_cols: np.ndarray,
+    disabled: np.ndarray | None = None,
+    tolerance: float = 1e-9,
+) -> np.ndarray:
+    """DAG-membership rows from per-destination distance *columns*.
+
+    The column-oriented twin of :func:`all_destination_masks` for callers
+    (the incremental router) that hold ``(N, D)`` distance columns instead
+    of a full ``(N, N)`` matrix.  Row ``i`` is the mask towards the
+    destination whose distances are ``dist_cols[:, i]``; the arithmetic is
+    identical, so rows are bit-identical to the all-pairs version.
+    """
+    du = dist_cols[network.arc_src]  # (num_arcs, D)
+    dv = dist_cols[network.arc_dst]
+    with np.errstate(invalid="ignore"):
+        mask = np.abs(du - (weights[:, None] + dv)) <= tolerance
+    mask &= np.isfinite(du) & np.isfinite(dv)
+    if disabled is not None:
+        mask &= ~disabled[:, None]
+    return mask.T.copy()
+
+
 def fast_propagate_worst_delay(
     plan: PropagationPlan,
     mask_row: np.ndarray,

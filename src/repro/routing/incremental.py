@@ -1,0 +1,806 @@
+"""Incremental delta-rerouting: dynamic SPF + per-destination load deltas.
+
+The local searches of Phases 1 and 2 evaluate candidates that differ from
+the incumbent by exactly **one arc's weight**, and failure sweeps evaluate
+scenarios that kill a handful of arcs.  Routing such a candidate from
+scratch recomputes every destination's distance column, DAG mask and load
+propagation even though a single-arc delta can only touch the
+destinations whose shortest paths the arc participates in (or could start
+participating in).  :class:`IncrementalRouter` exploits that:
+
+* it holds the routing of one traffic class **decomposed per
+  destination** — distance columns, DAG-mask rows, per-destination load
+  contributions and undelivered volumes;
+* on a delta it first runs the *affected-destination test* on the cached
+  distance columns: a weight **increase** on arc ``(u, v)`` can only
+  affect destinations whose DAG contains the arc (an off-DAG arc getting
+  heavier changes nothing — the limit of that argument, weight to
+  infinity, is the classic unused-arc failure shortcut); a weight
+  **decrease** to ``w`` can only affect destinations ``t`` with
+  ``dist(u, t) >= w + dist(v, t)`` (otherwise the arc is strictly worse
+  than what ``u`` already has, for every source);
+* only the affected destinations get a fresh single-destination Dijkstra
+  (on the reversed graph), mask-row rebuild and load re-propagation.
+
+Results are **bit-identical** to :meth:`repro.routing.engine.
+RoutingEngine.route_class`.  Two properties make that possible: arc
+weights are integer-valued, so every path length is exact in float64 and
+"mathematically unchanged" implies "bitwise unchanged"; and the shared
+``loads`` / ``undelivered`` totals are *re-folded* from the
+per-destination contributions in ascending destination order — the same
+float summation order ``route_class`` uses — rather than patched with a
+subtract-and-add (float addition is not associative, so in-place
+patching would drift by ulps).  ``tests/routing/test_incremental.py``
+pins the parity property-style.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.routing.engine import ClassRouting
+from repro.routing.failures import (
+    NORMAL,
+    FailureScenario,
+    disabled_arc_mask,
+)
+from repro.routing.fastpath import (
+    PropagationPlan,
+    destination_mask_rows,
+    fast_propagate_loads,
+)
+from repro.routing.network import Network
+from repro.routing.spf import (
+    _PY_DIJKSTRA_MAX_COLS,
+    SPF_TOLERANCE,
+    _dijkstra_to,
+    _reverse_adjacency,
+    distance_columns,
+)
+
+#: Weight-delta count above which :meth:`IncrementalRouter.sync` rebuilds
+#: from scratch instead of replaying per-arc deltas.  Local-search sync
+#: patterns are 1 arc (accepted move), 2 arcs (rejected move + next
+#: candidate) or 4 (Phase-1b base hops); beyond that a rebuild's single
+#: batched Dijkstra wins.
+SYNC_DELTA_LIMIT = 4
+
+#: Capacity of the per-destination propagation memo (entries).
+PROPAGATION_MEMO_SIZE = 16384
+
+
+class _PropagationMemo:
+    """Exact memo of per-destination load propagations.
+
+    A destination's load contribution and undelivered volume are a pure
+    function of ``(destination, mask row, distance column)`` for a fixed
+    demand matrix, so results are keyed by those bytes *exactly* — a hit
+    replays the identical floats, no approximation involved.  The sweep
+    access pattern makes this pay: one candidate's scenario states
+    reappear for the next candidate whenever the move arc does not touch
+    them, and rejected moves revert straight back to memoized states.
+    """
+
+    __slots__ = ("_entries", "_max_entries", "hits", "misses")
+
+    def __init__(self, max_entries: int = PROPAGATION_MEMO_SIZE) -> None:
+        self._entries: OrderedDict[
+            tuple[int, bytes, bytes], tuple[np.ndarray, float]
+        ] = OrderedDict()
+        self._max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    def get(
+        self, t: int, mask_row: np.ndarray, dist_col: np.ndarray
+    ) -> tuple[np.ndarray, float] | None:
+        key = (t, mask_row.tobytes(), dist_col.tobytes())
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(
+        self,
+        t: int,
+        mask_row: np.ndarray,
+        dist_col: np.ndarray,
+        contrib: np.ndarray,
+        undelivered: float,
+    ) -> None:
+        key = (t, mask_row.tobytes(), dist_col.tobytes())
+        self._entries[key] = (contrib, undelivered)
+        while len(self._entries) > self._max_entries:
+            self._entries.popitem(last=False)
+
+
+@dataclass
+class RouterStats:
+    """Counters describing how much work the router actually did.
+
+    Attributes:
+        rebuilds: full from-scratch builds (constructor + oversized syncs).
+        deltas: single-arc weight deltas applied.
+        destinations_recomputed: destination columns recomputed across all
+            deltas and scenario routes (Dijkstra + mask + propagation).
+        destinations_reused: destination columns served from cache by
+            scenario routes.
+        scenario_routes: :meth:`IncrementalRouter.route_scenario` calls.
+    """
+
+    rebuilds: int = 0
+    deltas: int = 0
+    destinations_recomputed: int = 0
+    destinations_reused: int = 0
+    scenario_routes: int = 0
+
+
+@dataclass(frozen=True)
+class ScenarioRouting:
+    """A scenario routing plus what the delta test managed to reuse.
+
+    Attributes:
+        routing: the :class:`ClassRouting` under the scenario,
+            bit-identical to a from-scratch ``route_class`` call.
+        reusable: destinations whose distance column and mask row are
+            identical to the base (normal) routing's — the evaluator can
+            reuse their path-delay columns too when arc delays allow.
+    """
+
+    routing: ClassRouting
+    reusable: frozenset[int] = field(default_factory=frozenset)
+
+
+class IncrementalRouter:
+    """Maintains one traffic class's routing under evolving weights.
+
+    The router always represents the **failure-free** routing of its
+    demand matrix under the current weights; failure scenarios are
+    answered as one-shot deltas (:meth:`route_scenario`) that never
+    mutate the base state.
+
+    Args:
+        network: the topology.
+        demands: ``(N, N)`` demand matrix of this class (validated once
+            here, never again).
+        weights: initial per-arc weights, integer-valued >= 1.
+        plan: optional prebuilt propagation plan (shared with the engine).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        demands: np.ndarray,
+        weights: np.ndarray,
+        plan: PropagationPlan | None = None,
+    ) -> None:
+        self._net = network
+        self._plan = plan or PropagationPlan.for_network(network)
+        demands = np.asarray(demands, dtype=np.float64)
+        if demands.shape != (network.num_nodes, network.num_nodes):
+            raise ValueError("demand matrix shape must be (N, N)")
+        self._demands = demands
+        self._dest = np.flatnonzero(demands.sum(axis=0) > 0.0)
+        self._weights = np.empty(0)
+        self._dist_cols = np.empty((0, 0))
+        self._masks = np.empty((0, 0), dtype=bool)
+        self._contribs = np.empty((0, 0))
+        self._und = np.empty(0)
+        self._routing: ClassRouting | None = None
+        self._memo = _PropagationMemo()
+        #: Weight-independent per-scenario structures (failed arcs,
+        #: disabled mask + list form, survivor out-arcs per failed arc)
+        #: — failure sets are swept thousands of times, scenarios are
+        #: hashable.
+        self._scenario_info: dict[FailureScenario, tuple] = {}
+        #: Current weights as a plain list (for the in-process Dijkstra);
+        #: rebuilt lazily after weight changes.
+        self._weights_list: list[float] | None = None
+        self._weights_integral = False
+        self._arc_src_list = [int(u) for u in network.arc_src]
+        self._rev_adjacency = _reverse_adjacency(network)
+        self.stats = RouterStats()
+        self._rebuild(weights)
+
+    # ------------------------------------------------------------------
+    # state inspection
+    # ------------------------------------------------------------------
+    @property
+    def network(self) -> Network:
+        """The routed topology."""
+        return self._net
+
+    @property
+    def weights(self) -> np.ndarray:
+        """The current per-arc weights (read-only view)."""
+        view = self._weights.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def destinations(self) -> np.ndarray:
+        """Demand-carrying destinations, ascending (fixed per demands)."""
+        return self._dest
+
+    def weight_of(self, arc: int) -> float:
+        """Current weight of one arc."""
+        return float(self._weights[arc])
+
+    # ------------------------------------------------------------------
+    # building and updating the base (normal-scenario) state
+    # ------------------------------------------------------------------
+    def _rebuild(self, weights: np.ndarray) -> None:
+        weights = np.array(weights, dtype=np.float64, copy=True)
+        if weights.shape != (self._net.num_arcs,):
+            raise ValueError("weights must have one entry per arc")
+        if np.any(weights < 1):
+            raise ValueError("arc weights must be >= 1")
+        self._weights = weights
+        self._weights_list = None
+        self._weights_integral = bool(np.all(weights == np.floor(weights)))
+        self._dist_cols = distance_columns(self._net, weights, self._dest)
+        self._masks = destination_mask_rows(
+            self._net, weights, self._dist_cols
+        )
+        num_arcs = self._net.num_arcs
+        self._contribs = np.zeros((self._dest.size, num_arcs))
+        self._und = np.zeros(self._dest.size)
+        for row, t in enumerate(self._dest):
+            self._propagate_row(row, int(t))
+        self._routing = None
+        self.stats.rebuilds += 1
+        self.stats.destinations_recomputed += int(self._dest.size)
+
+    def _repaired_column(
+        self,
+        base_col: np.ndarray,
+        mask_row: np.ndarray,
+        failed: list[int],
+        failed_set: set[int],
+        dead_list: "list[bool] | None",
+    ) -> np.ndarray | None:
+        """Dynamic-SPF *increase* repair of one cached distance column.
+
+        Removing (or up-weighting) arcs can only lengthen paths, and only
+        for the nodes whose **every** shortest path crosses a changed arc
+        — the classic dynamic-SPF affected cone.  The cone ``A`` is found
+        by a worklist over the DAG (a node joins when all its DAG
+        out-arcs are failed or lead into ``A``); everything outside keeps
+        its distance verbatim.  The cone is then re-settled by a tiny
+        Dijkstra seeded from its boundary (best alive arc into a
+        non-cone node).  Distances outside the cone are provably
+        unchanged, so the result is bit-identical to a full recompute
+        (integer weights, exact sums).
+
+        Returns None — caller falls back to a full column — when the
+        cone grows past the point where repair stops being cheaper, or
+        when weights are not integral (ulp parity with scipy is only
+        guaranteed for exact arithmetic).
+        """
+        if not self._weights_integral:
+            return None
+        if self._weights_list is None:
+            self._weights_list = self._weights.tolist()
+        out_arcs = self._plan.out_arcs
+        arc_dst = self._plan.arc_dst
+        in_arcs = self._rev_adjacency
+        arc_src = self._arc_src_list
+        weights = self._weights_list
+        mask = mask_row
+        limit = max(6, self._net.num_nodes // 3)
+
+        cone: set[int] = set()
+        pending = [arc_src[a] for a in failed if mask[a]]
+        while pending:
+            x = pending.pop()
+            if x in cone:
+                continue
+            compromised = True
+            for a in out_arcs[x]:
+                if not mask[a] or a in failed_set:
+                    continue
+                if arc_dst[a] not in cone:
+                    compromised = False
+                    break
+            if not compromised:
+                continue
+            cone.add(x)
+            if len(cone) > limit:
+                return None
+            for a in in_arcs[x]:
+                if mask[a]:
+                    pending.append(arc_src[a])
+
+        col = base_col.copy()
+        inf = float("inf")
+        best: dict[int, float] = {}
+        heap: list[tuple[float, int]] = []
+        for x in cone:
+            seed = inf
+            for a in out_arcs[x]:
+                if dead_list is not None and dead_list[a]:
+                    continue
+                y = arc_dst[a]
+                if y in cone:
+                    continue
+                candidate = weights[a] + col[y]
+                if candidate < seed:
+                    seed = candidate
+            if seed < inf:
+                best[x] = seed
+                heapq.heappush(heap, (seed, x))
+        while heap:
+            d, x = heapq.heappop(heap)
+            if d > best.get(x, inf):
+                continue
+            for a in in_arcs[x]:
+                if dead_list is not None and dead_list[a]:
+                    continue
+                z = arc_src[a]
+                if z not in cone:
+                    continue
+                candidate = weights[a] + d
+                if candidate < best.get(z, inf):
+                    best[z] = candidate
+                    heapq.heappush(heap, (candidate, z))
+        for x in cone:
+            col[x] = best.get(x, inf)
+        return col
+
+    def _set_weight_entry(self, arc: int, new_weight: float) -> None:
+        self._weights[arc] = new_weight
+        if self._weights_list is not None:
+            self._weights_list[arc] = new_weight
+        if self._weights_integral and not float(new_weight).is_integer():
+            self._weights_integral = False
+
+    def _propagate_for(
+        self,
+        t: int,
+        mask_row: np.ndarray,
+        dist_col: np.ndarray,
+        demand_col: np.ndarray,
+        use_memo: bool,
+    ) -> tuple[np.ndarray, float]:
+        """Load contribution + undelivered volume of one destination.
+
+        Memoized on ``(t, mask bytes, dist bytes)`` when the demand
+        column is the base one (``use_memo``) — the result is a pure
+        function of those inputs, so a hit replays identical floats.
+        """
+        if use_memo:
+            entry = self._memo.get(t, mask_row, dist_col)
+            if entry is not None:
+                return entry
+        contrib_list = [0.0] * self._net.num_arcs
+        undelivered = fast_propagate_loads(
+            self._plan, mask_row, dist_col, demand_col, t, contrib_list
+        )
+        contrib = np.asarray(contrib_list)
+        if use_memo:
+            self._memo.put(t, mask_row, dist_col, contrib, undelivered)
+        return contrib, undelivered
+
+    def _propagate_row(self, row: int, t: int) -> None:
+        contrib, undelivered = self._propagate_for(
+            t,
+            self._masks[row],
+            self._dist_cols[:, row],
+            self._demands[:, t],
+            True,
+        )
+        self._contribs[row] = contrib
+        self._und[row] = undelivered
+
+    def sync(self, weights: np.ndarray) -> int:
+        """Bring the router to ``weights`` by the cheapest route.
+
+        Diffs against the current weights; up to :data:`SYNC_DELTA_LIMIT`
+        changed arcs are replayed as single-arc deltas (each touching
+        only its affected destinations), more trigger a full rebuild.
+
+        Returns:
+            The number of changed arcs observed.
+        """
+        weights = np.asarray(weights, dtype=np.float64)
+        changed = np.flatnonzero(weights != self._weights)
+        if changed.size == 0:
+            return 0
+        if changed.size > SYNC_DELTA_LIMIT:
+            self._rebuild(weights)
+            return int(changed.size)
+        for arc in changed:
+            self.set_arc_weight(int(arc), float(weights[arc]))
+        return int(changed.size)
+
+    def set_arc_weight(self, arc: int, new_weight: float) -> int:
+        """Apply one arc-weight delta, updating only affected destinations.
+
+        The affected-destination test on the cached distance columns:
+
+        * **increase** — only destinations whose DAG contains the arc can
+          change (for the rest the arc was strictly longer than the best
+          path through its tail and just got longer still); among those,
+          destinations where the arc's source keeps another DAG out-arc
+          keep all their distances too, so only the mask bit flips and
+          the loads re-propagate — no Dijkstra.
+        * **decrease** to ``w`` — only destinations ``t`` with
+          ``dist(u, t) >= w + dist(v, t)`` can change; exact equality
+          means the arc *joins* the DAG without moving any distance
+          (mask bit + re-propagation only), strict improvement means
+          distances genuinely drop (fresh Dijkstra column).
+
+        Returns:
+            The number of destinations touched (0 when the delta provably
+            cannot change the routing — e.g. a weight increase on an arc
+            lying on no destination's DAG, the classic unused-arc case).
+        """
+        new_weight = float(new_weight)
+        if new_weight < 1:
+            raise ValueError("arc weights must be >= 1")
+        old_weight = float(self._weights[arc])
+        if new_weight == old_weight:
+            return 0
+        net = self._net
+        u = int(net.arc_src[arc])
+        if new_weight > old_weight:
+            rows = np.flatnonzero(self._masks[:, arc])
+            self._set_weight_entry(arc, new_weight)
+            if rows.size:
+                out_u = net.out_arcs[u]
+                others = out_u[out_u != arc]
+                if others.size:
+                    dist_keeps = self._masks[np.ix_(rows, others)].any(
+                        axis=1
+                    )
+                else:
+                    dist_keeps = np.zeros(rows.size, dtype=bool)
+                mask_only = rows[dist_keeps]
+                spf_rows = rows[~dist_keeps]
+                if mask_only.size:
+                    self._masks[mask_only, arc] = False
+                    for row in mask_only:
+                        self._propagate_row(int(row), int(self._dest[row]))
+                if spf_rows.size:
+                    self._recompute_rows(spf_rows, repair_failed=[arc])
+        else:
+            du = self._dist_cols[u]
+            dv = self._dist_cols[net.arc_dst[arc]]
+            with np.errstate(invalid="ignore"):
+                target = new_weight + dv
+                joins = np.abs(du - target) <= SPF_TOLERANCE
+                improves = du > target + SPF_TOLERANCE
+            finite = np.isfinite(dv)
+            joins &= finite & np.isfinite(du)
+            improves &= finite
+            rows = np.flatnonzero(joins | improves)
+            self._set_weight_entry(arc, new_weight)
+            mask_only = np.flatnonzero(joins)
+            spf_rows = np.flatnonzero(improves)
+            if mask_only.size:
+                self._masks[mask_only, arc] = True
+                for row in mask_only:
+                    self._propagate_row(int(row), int(self._dest[row]))
+            if spf_rows.size:
+                self._recompute_rows(spf_rows)
+        self.stats.deltas += 1
+        if rows.size:
+            self._routing = None
+            self.stats.destinations_recomputed += int(rows.size)
+        return int(rows.size)
+
+    def _columns_for(
+        self,
+        dests: np.ndarray,
+        disabled: np.ndarray | None = None,
+        dead_list: "list[bool] | None" = None,
+    ) -> np.ndarray:
+        """Distance columns via the cheapest applicable Dijkstra.
+
+        Small batches run the in-process heap Dijkstra over adjacency
+        lists the router caches across calls (no per-call conversions at
+        all); larger batches fall back to scipy.  Both produce the same
+        bits — weights are integer-valued, path sums exact.
+        """
+        if len(dests) <= _PY_DIJKSTRA_MAX_COLS and self._weights_integral:
+            if self._weights_list is None:
+                self._weights_list = self._weights.tolist()
+            n = self._net.num_nodes
+            out = np.empty((n, len(dests)), dtype=np.float64)
+            for i, t in enumerate(dests):
+                out[:, i] = _dijkstra_to(
+                    n,
+                    self._rev_adjacency,
+                    self._arc_src_list,
+                    self._weights_list,
+                    dead_list,
+                    int(t),
+                )
+            return out
+        return distance_columns(self._net, self._weights, dests, disabled)
+
+    def _recompute_rows(
+        self, rows: np.ndarray, repair_failed: "list[int] | None" = None
+    ) -> None:
+        """Fresh distance columns, mask rows and propagations for ``rows``.
+
+        With ``repair_failed`` (an effective weight-increase delta on
+        those arcs) each column first tries the dynamic-SPF cone repair;
+        only columns whose cone grows too large run a full Dijkstra.
+        """
+        dests = self._dest[rows]
+        n = self._net.num_nodes
+        cols = np.empty((n, rows.size), dtype=np.float64)
+        missing = []
+        if repair_failed is not None:
+            repair_failed_set = set(repair_failed)
+            for i, row in enumerate(rows):
+                repaired = self._repaired_column(
+                    self._dist_cols[:, row],
+                    self._masks[row],
+                    repair_failed,
+                    repair_failed_set,
+                    None,
+                )
+                if repaired is None:
+                    missing.append(i)
+                else:
+                    cols[:, i] = repaired
+        else:
+            missing = list(range(rows.size))
+        if missing:
+            cols[:, missing] = self._columns_for(dests[missing])
+        self._dist_cols[:, rows] = cols
+        self._masks[rows] = destination_mask_rows(
+            self._net, self._weights, cols
+        )
+        for row, t in zip(rows, dests):
+            self._propagate_row(int(row), int(t))
+
+    # ------------------------------------------------------------------
+    # assembling routings
+    # ------------------------------------------------------------------
+    @property
+    def routing(self) -> ClassRouting:
+        """The failure-free :class:`ClassRouting` under current weights.
+
+        Bit-identical to ``route_class(weights, demands)``: the shared
+        ``loads`` array and the ``undelivered`` total are folded from the
+        per-destination contributions in ascending destination order —
+        exactly the summation order of the from-scratch loop.  The
+        assembled routing is cached until the next effective delta.
+        """
+        if self._routing is None:
+            n = self._net.num_nodes
+            dist = np.full((n, n), np.inf)
+            dist[:, self._dest] = self._dist_cols
+            loads = np.zeros(self._net.num_arcs)
+            undelivered = 0.0
+            for row in range(self._dest.size):
+                loads += self._contribs[row]
+                undelivered += float(self._und[row])
+            self._routing = ClassRouting(
+                network=self._net,
+                scenario=NORMAL,
+                dist=dist,
+                destinations=self._dest.copy(),
+                masks=self._masks.copy(),
+                loads=loads,
+                demands=self._demands,
+                undelivered=undelivered,
+            )
+        return self._routing
+
+    def matching_destinations(
+        self, base: ClassRouting | None
+    ) -> frozenset[int] | None:
+        """Destinations whose state in ``base`` equals the current state.
+
+        Answers "relative to the normal routing ``base`` evaluated
+        earlier, which destinations still have bit-identical distance
+        columns and mask rows?" — the precondition for reusing the base
+        evaluation's path-delay columns.  Verified by direct array
+        comparison (a few thousand element compares — negligible next to
+        one propagation), so a stale, reverted-back-to, or
+        cross-process base is handled exactly, not heuristically.
+        """
+        if base is None or not np.array_equal(base.destinations, self._dest):
+            return None
+        cols_equal = (
+            base.dist[:, self._dest] == self._dist_cols
+        ).all(axis=0)
+        rows_equal = (base.masks == self._masks).all(axis=1)
+        ok = cols_equal & rows_equal
+        return frozenset(int(t) for t in self._dest[ok])
+
+    def route_scenario(
+        self, scenario: FailureScenario, want_reusable: bool = False
+    ) -> ScenarioRouting:
+        """Route this class under a failure, reusing unaffected columns.
+
+        A one-shot delta against the base state (never mutates it): arc
+        failures are pure weight increases (to infinity), so a
+        destination needs recomputation only when a failed arc sits on
+        its DAG; node removals additionally zero demand rows, so
+        destinations that lost a source get a re-propagation over their
+        unchanged column.  Among the DAG-hit destinations, those where
+        every failed arc's source keeps a surviving DAG out-arc retain
+        all their distances, so their new mask row is just the old one
+        minus the failed arcs — no Dijkstra.  Everything else —
+        distances, masks, and the per-destination load contributions —
+        is served from cache or the propagation memo, and the totals are
+        re-folded in ascending destination order for bit-identity with
+        ``route_class``.
+
+        Args:
+            scenario: the failure scenario.
+            want_reusable: also report the reusable destination set
+                (skipped by default; building it costs a little and only
+                the delay class consumes it).
+        """
+        if scenario.is_normal:
+            reusable = (
+                frozenset(int(t) for t in self._dest)
+                if want_reusable
+                else frozenset()
+            )
+            return ScenarioRouting(routing=self.routing, reusable=reusable)
+        self.stats.scenario_routes += 1
+        net = self._net
+        info = self._scenario_info.get(scenario)
+        if info is None:
+            failed = [int(a) for a in scenario.failed_arcs]
+            failed_set = set(failed)
+            disabled = disabled_arc_mask(net, scenario)
+            rem = list(scenario.removed_nodes)
+            survivors = [
+                (
+                    a,
+                    np.asarray(
+                        [
+                            int(o)
+                            for o in net.out_arcs[int(net.arc_src[a])]
+                            if int(o) not in failed_set
+                        ],
+                        dtype=np.intp,
+                    ),
+                )
+                for a in failed
+            ]
+            info = (
+                failed,
+                failed_set,
+                disabled,
+                disabled.tolist(),
+                rem,
+                survivors,
+            )
+            if len(self._scenario_info) > 4096:
+                self._scenario_info.clear()
+            self._scenario_info[scenario] = info
+        failed, failed_set, disabled, dead_list, rem, survivors = info
+
+        demands = self._demands
+        if rem:
+            demands = demands.copy()
+            demands[rem, :] = 0.0
+            demands[:, rem] = 0.0
+            dest_s = np.flatnonzero(demands.sum(axis=0) > 0.0)
+            rows_s = np.searchsorted(self._dest, dest_s)
+            dem_hit = (self._demands[rem][:, dest_s] > 0.0).any(axis=0)
+            base_masks_s = self._masks[rows_s]
+            base_cols_s = self._dist_cols[:, rows_s]
+            base_contribs = self._contribs[rows_s]
+            base_und = self._und[rows_s]
+        else:
+            # Arc failures keep the demand matrix, and therefore the
+            # destination set, untouched — the hot path of every sweep.
+            dest_s = self._dest
+            dem_hit = None
+            base_masks_s = self._masks
+            base_cols_s = self._dist_cols
+            base_contribs = self._contribs
+            base_und = self._und
+        if failed and dest_s.size:
+            arc_hit = base_masks_s[:, failed].any(axis=1)
+        else:
+            arc_hit = np.zeros(dest_s.size, dtype=bool)
+
+        n, num_arcs = net.num_nodes, net.num_arcs
+        dist = np.full((n, n), np.inf)
+        dist[:, dest_s] = base_cols_s
+        # Failed arcs sit on no unaffected DAG, so clearing them from
+        # every row is exact for reused rows and required for the rest.
+        masks = base_masks_s & ~disabled
+        hit = np.flatnonzero(arc_hit)
+        if hit.size:
+            # Distances to a hit destination survive when every failed
+            # on-DAG arc's source node keeps a non-failed DAG out-arc:
+            # the surviving sub-DAG still connects every node at its old
+            # distance.  Those rows skip Dijkstra; only the genuinely
+            # re-routed remainder gets fresh columns.
+            base_masks_hit = base_masks_s[hit]
+            need_spf = np.zeros(hit.size, dtype=bool)
+            for a, others in survivors:
+                on_dag = base_masks_hit[:, a]
+                if not on_dag.any():
+                    continue
+                if others.size:
+                    survives = base_masks_hit[:, others].any(axis=1)
+                    need_spf |= on_dag & ~survives
+                else:
+                    need_spf |= on_dag
+            spf_pos = hit[need_spf]
+            if spf_pos.size:
+                cols = np.empty((n, spf_pos.size), dtype=np.float64)
+                missing = []
+                for i, pos in enumerate(spf_pos):
+                    repaired = self._repaired_column(
+                        base_cols_s[:, pos],
+                        base_masks_s[pos],
+                        failed,
+                        failed_set,
+                        dead_list,
+                    )
+                    if repaired is None:
+                        missing.append(i)
+                    else:
+                        cols[:, i] = repaired
+                if missing:
+                    cols[:, missing] = self._columns_for(
+                        dest_s[spf_pos[np.asarray(missing)]],
+                        disabled,
+                        dead_list,
+                    )
+                dist[:, dest_s[spf_pos]] = cols
+                masks[spf_pos] = destination_mask_rows(
+                    net, self._weights, cols, disabled
+                )
+
+        loads = np.zeros(num_arcs)
+        undelivered = 0.0
+        recomputed = 0
+        hit_list = arc_hit.tolist()
+        dem_list = dem_hit.tolist() if dem_hit is not None else None
+        for pos, t in enumerate(dest_s.tolist()):
+            demand_changed = dem_list is not None and dem_list[pos]
+            if hit_list[pos] or demand_changed:
+                contrib, und = self._propagate_for(
+                    t,
+                    masks[pos],
+                    dist[:, t],
+                    demands[:, t],
+                    not demand_changed,
+                )
+                loads += contrib
+                undelivered += und
+                recomputed += 1
+            else:
+                loads += base_contribs[pos]
+                undelivered += float(base_und[pos])
+        self.stats.destinations_recomputed += recomputed
+        self.stats.destinations_reused += int(dest_s.size) - recomputed
+
+        routing = ClassRouting(
+            network=net,
+            scenario=scenario,
+            dist=dist,
+            destinations=dest_s,
+            masks=masks,
+            loads=loads,
+            demands=demands,
+            undelivered=undelivered,
+        )
+        reusable = (
+            frozenset(int(t) for t in dest_s[~arc_hit])
+            if want_reusable
+            else frozenset()
+        )
+        return ScenarioRouting(routing=routing, reusable=reusable)

@@ -123,6 +123,28 @@ def propagate_mean_delay(
     return delay
 
 
+def path_counts_reference(
+    network: Network, mask: np.ndarray, dist_to_t: np.ndarray, t: int
+) -> np.ndarray:
+    """Numpy reference for shortest-path counts per node towards ``t``.
+
+    The production implementation is the pure-Python kernel
+    :func:`repro.routing.fastpath.fast_path_counts` (exposed through
+    :func:`repro.routing.spf.path_counts`); tests pin the two equal.
+    """
+    n = network.num_nodes
+    counts = np.zeros(n, dtype=np.float64)
+    counts[t] = 1.0
+    order = np.argsort(dist_to_t, kind="stable")
+    for u in order:
+        if u == t or not np.isfinite(dist_to_t[u]):
+            continue
+        out = network.out_arcs[u]
+        live = out[mask[out]]
+        counts[u] = counts[network.arc_dst[live]].sum()
+    return counts
+
+
 def max_arc_value_on_paths(
     network: Network,
     mask: np.ndarray,

@@ -11,50 +11,176 @@ exact in float64; a small tolerance is still applied for robustness.
 
 from __future__ import annotations
 
+import heapq
+import weakref
+
 import numpy as np
 from scipy.sparse import csr_matrix
 from scipy.sparse.csgraph import dijkstra
 
+from repro.routing.fastpath import PropagationPlan, fast_path_counts
 from repro.routing.network import Network
 
 #: Tolerance used when testing membership in the shortest-path DAG.
 SPF_TOLERANCE = 1e-9
 
 
+def _validate_weights(network: Network, weights: np.ndarray) -> None:
+    if weights.shape != (network.num_arcs,):
+        raise ValueError("weights must have one entry per arc")
+    if np.any(weights < 1):
+        raise ValueError("arc weights must be >= 1")
+
+
+def _live_arcs(
+    network: Network, weights: np.ndarray, disabled: np.ndarray | None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    if disabled is None:
+        return network.arc_src, network.arc_dst, weights
+    keep = ~np.asarray(disabled, dtype=bool)
+    return network.arc_src[keep], network.arc_dst[keep], weights[keep]
+
+
 def distance_matrix(
     network: Network,
     weights: np.ndarray,
     disabled: np.ndarray | None = None,
+    destinations: np.ndarray | None = None,
+    validate: bool = True,
 ) -> np.ndarray:
-    """All-pairs shortest-path distances under the given arc weights.
+    """Shortest-path distances under the given arc weights.
 
     Args:
         network: the topology.
         weights: per-arc weights, shape ``(num_arcs,)``, all >= 1.
         disabled: optional boolean per-arc mask of dead arcs.
+        destinations: optional node ids; when given, only the distance
+            *columns* towards these nodes are computed (via Dijkstra on
+            the reversed graph) and every other column is ``inf``.  This
+            is the routing hot path: the engine only ever consumes the
+            demand-carrying columns.
+        validate: skip the weight checks when False (hot loops validate
+            once per setting instead of once per call).
 
     Returns:
         ``(N, N)`` float array ``dist`` with ``dist[s, t]`` the length of
         the shortest ``s -> t`` path, ``inf`` when unreachable, 0 on the
-        diagonal.
+        diagonal (computed columns only when ``destinations`` is given).
     """
     weights = np.asarray(weights, dtype=np.float64)
-    if weights.shape != (network.num_arcs,):
-        raise ValueError("weights must have one entry per arc")
-    if np.any(weights < 1):
-        raise ValueError("arc weights must be >= 1")
-    if disabled is None:
-        src, dst, data = network.arc_src, network.arc_dst, weights
-    else:
-        keep = ~np.asarray(disabled, dtype=bool)
-        src, dst, data = (
-            network.arc_src[keep],
-            network.arc_dst[keep],
-            weights[keep],
-        )
+    if validate:
+        _validate_weights(network, weights)
     n = network.num_nodes
+    if destinations is not None:
+        out = np.full((n, n), np.inf)
+        destinations = np.asarray(destinations, dtype=np.intp)
+        if destinations.size:
+            out[:, destinations] = distance_columns(
+                network, weights, destinations, disabled
+            )
+        return out
+    src, dst, data = _live_arcs(network, weights, disabled)
     graph = csr_matrix((data, (src, dst)), shape=(n, n))
     return dijkstra(graph, directed=True)
+
+
+#: Below this many requested columns a pure-Python heap Dijkstra beats
+#: scipy (whose CSR construction + call overhead — several hundred
+#: microseconds — dominates small runs at backbone scale).
+_PY_DIJKSTRA_MAX_COLS = 12
+
+
+def distance_columns(
+    network: Network,
+    weights: np.ndarray,
+    destinations: np.ndarray,
+    disabled: np.ndarray | None = None,
+) -> np.ndarray:
+    """Distance columns ``dist[:, t]`` for the given destinations only.
+
+    Dijkstra runs on the *reversed* graph from each destination:
+    distances from ``t`` in the reversed graph are exactly distances *to*
+    ``t`` in the forward graph.  Large batches go through scipy's C
+    implementation; small batches (the incremental router's common case)
+    use an in-process heap Dijkstra that skips the per-call CSR build.
+    Weights are integer-valued, so every path sum is exact in float64 and
+    the columns are bit-identical whichever implementation ran (for
+    non-integral weights the scipy path is always used).
+
+    Returns:
+        ``(N, len(destinations))`` float array, column ``i`` holding the
+        per-source distances towards ``destinations[i]``.
+    """
+    n = network.num_nodes
+    destinations = np.asarray(destinations, dtype=np.intp)
+    if destinations.size == 0:
+        return np.empty((n, 0), dtype=np.float64)
+    if destinations.size <= _PY_DIJKSTRA_MAX_COLS and np.all(
+        weights == np.floor(weights)
+    ):
+        out = np.empty((n, destinations.size), dtype=np.float64)
+        dead = (
+            np.asarray(disabled, dtype=bool).tolist()
+            if disabled is not None
+            else None
+        )
+        weight_list = weights.tolist()
+        arc_src = network.arc_src.tolist()
+        in_arcs = _reverse_adjacency(network)
+        for i, t in enumerate(destinations):
+            out[:, i] = _dijkstra_to(
+                n, in_arcs, arc_src, weight_list, dead, int(t)
+            )
+        return out
+    src, dst, data = _live_arcs(network, weights, disabled)
+    reversed_graph = csr_matrix((data, (dst, src)), shape=(n, n))
+    from_t = dijkstra(reversed_graph, directed=True, indices=destinations)
+    return np.ascontiguousarray(from_t.T)
+
+
+#: Per-network reverse adjacency (incoming arc ids as plain lists).
+#: Weak keys: entries die with their network, and identity-keying is safe
+#: because networks are immutable.
+_REVERSE_ADJACENCY: "weakref.WeakKeyDictionary[Network, list[list[int]]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _reverse_adjacency(network: Network) -> list[list[int]]:
+    cached = _REVERSE_ADJACENCY.get(network)
+    if cached is None:
+        cached = [[int(a) for a in arcs] for arcs in network.in_arcs]
+        _REVERSE_ADJACENCY[network] = cached
+    return cached
+
+
+def _dijkstra_to(
+    n: int,
+    in_arcs: list[list[int]],
+    arc_src: list[int],
+    weights: list[float],
+    dead: "list[bool] | None",
+    t: int,
+) -> list[float]:
+    """Single-destination heap Dijkstra over the reversed adjacency."""
+    dist = [float("inf")] * n
+    dist[t] = 0.0
+    heap = [(0.0, t)]
+    push = heapq.heappush
+    pop = heapq.heappop
+    while heap:
+        d, v = pop(heap)
+        if d > dist[v]:
+            continue
+        for a in in_arcs[v]:
+            if dead is not None and dead[a]:
+                continue
+            u = arc_src[a]
+            candidate = d + weights[a]
+            if candidate < dist[u]:
+                dist[u] = candidate
+                push(heap, (candidate, u))
+    return dist
 
 
 def shortest_arc_mask(
@@ -87,26 +213,27 @@ def shortest_arc_mask(
 
 
 def path_counts(
-    network: Network, mask: np.ndarray, dist_to_t: np.ndarray, t: int
+    network: Network,
+    mask: np.ndarray,
+    dist_to_t: np.ndarray,
+    t: int,
+    plan: "PropagationPlan | None" = None,
 ) -> np.ndarray:
     """Number of distinct shortest paths from each node to ``t``.
 
     A path-diversity diagnostic (the paper repeatedly attributes the
     benefit of robust optimization to path diversity).  Counts are
     computed by dynamic programming over the shortest-path DAG in
-    increasing distance order.
+    increasing distance order, through the pure-Python fast-path kernel
+    (the numpy reference lives in :func:`repro.routing.loader.
+    path_counts_reference` and is pinned equal by tests).  Pass a
+    prebuilt ``plan`` when calling repeatedly for one network.
     """
-    n = network.num_nodes
-    counts = np.zeros(n, dtype=np.float64)
-    counts[t] = 1.0
-    order = np.argsort(dist_to_t, kind="stable")
-    for u in order:
-        if u == t or not np.isfinite(dist_to_t[u]):
-            continue
-        out = network.out_arcs[u]
-        live = out[mask[out]]
-        counts[u] = counts[network.arc_dst[live]].sum()
-    return counts
+    if plan is None:
+        plan = PropagationPlan.for_network(network)
+    return np.asarray(
+        fast_path_counts(plan, mask, dist_to_t, t), dtype=np.float64
+    )
 
 
 def next_hops(

@@ -13,11 +13,14 @@ from hypothesis import strategies as st
 from repro.routing.fastpath import (
     PropagationPlan,
     all_destination_masks,
+    destination_mask_rows,
+    fast_path_counts,
     fast_propagate_loads,
     fast_propagate_mean_delay,
     fast_propagate_worst_delay,
 )
 from repro.routing.loader import (
+    path_counts_reference,
     propagate_loads,
     propagate_mean_delay,
     propagate_worst_delay,
@@ -98,6 +101,54 @@ def test_vectorized_masks_match_per_destination(case):
     for row, t in enumerate(destinations):
         expected = shortest_arc_mask(network, weights, dist[:, t])
         np.testing.assert_array_equal(masks[row], expected)
+
+
+@settings(max_examples=30, deadline=None)
+@given(case=routing_cases())
+def test_fast_path_counts_match_reference(case):
+    """The path-counts kernel is pinned to the numpy reference exactly
+    (counts are integer-valued floats, so equality is bitwise)."""
+    network, weights, demands, t = case
+    del demands
+    dist = distance_matrix(network, weights)
+    mask = shortest_arc_mask(network, weights, dist[:, t])
+    plan = PropagationPlan.for_network(network)
+    fast = fast_path_counts(plan, mask, dist[:, t], t)
+    reference = path_counts_reference(network, mask, dist[:, t], t)
+    np.testing.assert_array_equal(fast, reference)
+
+
+@settings(max_examples=30, deadline=None)
+@given(case=routing_cases())
+def test_spf_path_counts_uses_fast_kernel(case):
+    """The public spf.path_counts entry point equals the reference."""
+    from repro.routing.spf import path_counts
+
+    network, weights, demands, t = case
+    del demands
+    dist = distance_matrix(network, weights)
+    mask = shortest_arc_mask(network, weights, dist[:, t])
+    plan = PropagationPlan.for_network(network)
+    np.testing.assert_array_equal(
+        path_counts(network, mask, dist[:, t], t, plan=plan),
+        path_counts_reference(network, mask, dist[:, t], t),
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(case=routing_cases())
+def test_destination_mask_rows_match_all_destination_masks(case):
+    """The column-oriented mask builder equals the all-pairs one."""
+    network, weights, demands, _ = case
+    dist = distance_matrix(network, weights)
+    destinations = np.flatnonzero(demands.sum(axis=0) > 0)
+    from_matrix = all_destination_masks(
+        network, weights, dist, None, destinations
+    )
+    from_columns = destination_mask_rows(
+        network, weights, dist[:, destinations]
+    )
+    np.testing.assert_array_equal(from_columns, from_matrix)
 
 
 def test_plan_matches_network(square_network):

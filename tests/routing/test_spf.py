@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.routing.spf import (
+    distance_columns,
     distance_matrix,
     extract_one_path,
     path_counts,
@@ -56,6 +57,67 @@ class TestDistanceMatrix:
     def test_wrong_shape_rejected(self, square_network):
         with pytest.raises(ValueError, match="one entry per arc"):
             distance_matrix(square_network, np.ones(3))
+
+    def test_validate_false_skips_checks(self, square_network):
+        weights = uniform_weights(square_network)
+        weights[0] = 0.5  # would be rejected with validation on
+        dist = distance_matrix(square_network, weights, validate=False)
+        assert dist.shape == (4, 4)
+
+
+class TestDistanceColumns:
+    def test_columns_match_all_pairs(self, square_network):
+        weights = uniform_weights(square_network)
+        weights[square_network.arc_id(0, 2)] = 5
+        full = distance_matrix(square_network, weights)
+        destinations = np.array([1, 3])
+        cols = distance_columns(square_network, weights, destinations)
+        np.testing.assert_array_equal(cols, full[:, destinations])
+
+    def test_destination_mode_fills_inf(self, square_network):
+        weights = uniform_weights(square_network)
+        destinations = np.array([2])
+        dist = distance_matrix(
+            square_network, weights, destinations=destinations
+        )
+        np.testing.assert_array_equal(
+            dist[:, 2], distance_matrix(square_network, weights)[:, 2]
+        )
+        assert np.isinf(dist[:, [0, 1, 3]]).all()
+
+    def test_empty_destinations(self, square_network):
+        weights = uniform_weights(square_network)
+        cols = distance_columns(
+            square_network, weights, np.array([], dtype=np.intp)
+        )
+        assert cols.shape == (4, 0)
+        dist = distance_matrix(
+            square_network, weights, destinations=np.array([], dtype=int)
+        )
+        assert np.isinf(dist).all()
+
+    def test_disabled_arcs_respected(self, square_network):
+        weights = uniform_weights(square_network)
+        disabled = np.zeros(square_network.num_arcs, dtype=bool)
+        disabled[square_network.arc_id(0, 1)] = True
+        cols = distance_columns(
+            square_network, weights, np.array([1]), disabled
+        )
+        full = distance_matrix(square_network, weights, disabled)
+        np.testing.assert_array_equal(cols[:, 0], full[:, 1])
+
+    def test_python_and_scipy_paths_agree(self):
+        """Small batches (heap Dijkstra) == large batches (scipy)."""
+        from repro.topology import rand_topology
+
+        gen = np.random.default_rng(17)
+        network = rand_topology(20, 4.0, gen)
+        weights = gen.integers(1, 18, network.num_arcs).astype(np.float64)
+        all_dests = np.arange(20)
+        via_scipy = distance_columns(network, weights, all_dests)
+        for t in range(20):
+            single = distance_columns(network, weights, np.array([t]))
+            np.testing.assert_array_equal(single[:, 0], via_scipy[:, t])
 
 
 class TestShortestArcMask:
