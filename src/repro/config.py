@@ -20,6 +20,8 @@ import dataclasses
 import os
 from dataclasses import dataclass
 
+from repro.routing.backend import validate_backend
+
 
 @dataclass(frozen=True)
 class DelayModelParams:
@@ -235,6 +237,13 @@ class ExecutionParams:
             only destinations the delta can affect are re-routed.
             Bit-identical to from-scratch routing; off switches every
             evaluation back to full recomputation (for A/B checks).
+        routing_backend: kernel backend for routing propagations —
+            ``"python"`` (per-destination pure-Python loops, fastest at
+            backbone scale), ``"vector"`` (array-native destination
+            batches, fastest on Rocketfuel-class instances) or
+            ``"auto"`` (default: per-call choice from node/arc/
+            destination counts; see ``repro.routing.backend``).
+            Backends are bit-identical on integer-weight instances.
     """
 
     n_jobs: int = 1
@@ -243,6 +252,7 @@ class ExecutionParams:
     routing_cache: bool = True
     cache_size: int = 512
     incremental_routing: bool = True
+    routing_backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.n_jobs < 0:
@@ -253,6 +263,7 @@ class ExecutionParams:
             raise ValueError("chunk_size must be >= 1 when given")
         if self.cache_size < 1:
             raise ValueError("cache_size must be >= 1")
+        validate_backend(self.routing_backend)
 
     @property
     def resolved_jobs(self) -> int:

@@ -152,7 +152,9 @@ class DtrEvaluator:
         self._traffic = traffic
         self._config = config
         self._delay_mode = delay_mode
-        self._engine = RoutingEngine(network)
+        self._engine = RoutingEngine(
+            network, backend=config.execution.routing_backend
+        )
         self._num_evaluations = 0
         self._incremental = config.execution.incremental_routing
         self._routers: dict[str, IncrementalRouter] = {}
@@ -318,7 +320,11 @@ class DtrEvaluator:
         router = self._routers.get(class_id)
         if router is None:
             router = IncrementalRouter(
-                self._network, demands, weights, plan=self._engine.plan
+                self._network,
+                demands,
+                weights,
+                plan=self._engine.plan,
+                backend=self._config.execution.routing_backend,
             )
             self._routers[class_id] = router
         return router

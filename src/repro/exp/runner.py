@@ -68,6 +68,7 @@ def run_experiment(
     preset: str = "quick",
     seed: int = 0,
     jobs: int | None = None,
+    backend: str | None = None,
 ) -> ExperimentResult:
     """Run one experiment and return its result.
 
@@ -77,12 +78,20 @@ def run_experiment(
         seed: base seed.
         jobs: evaluation workers; None keeps the preset's setting, 0
             means one worker per CPU.
+        backend: routing kernel backend (``auto``/``python``/``vector``);
+            None keeps the preset's setting.  Execution-only: results
+            are identical whichever backend runs.
     """
     resolved = get_preset(preset)
+    overrides: dict[str, object] = {}
     if jobs is not None:
+        overrides["n_jobs"] = jobs
+    if backend is not None:
+        overrides["routing_backend"] = backend
+    if overrides:
         config = resolved.config.replace(
             execution=dataclasses.replace(
-                resolved.config.execution, n_jobs=jobs
+                resolved.config.execution, **overrides
             )
         )
         resolved = dataclasses.replace(resolved, config=config)
@@ -117,6 +126,15 @@ def main(argv: list[str] | None = None) -> int:
         help="evaluation workers (0 = one per CPU; default: serial)",
     )
     parser.add_argument(
+        "--backend",
+        default=None,
+        choices=("auto", "python", "vector"),
+        help=(
+            "routing kernel backend (default: the preset's, normally "
+            "auto = size-adaptive; results are identical either way)"
+        ),
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list experiment ids"
     )
     args = parser.parse_args(argv)
@@ -140,6 +158,7 @@ def main(argv: list[str] | None = None) -> int:
             preset=args.preset,
             seed=args.seed,
             jobs=args.jobs,
+            backend=args.backend,
         )
         elapsed = time.perf_counter() - start
         print(result.render())

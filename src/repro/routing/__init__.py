@@ -1,6 +1,11 @@
 """Routing substrate: directed network model, SPF/ECMP engine, failures."""
 
 from repro.routing.arcs import Arc
+from repro.routing.backend import (
+    VALID_BACKENDS,
+    resolve_backend,
+    validate_backend,
+)
 from repro.routing.engine import (
     ClassRouting,
     PathDelayReuse,
@@ -34,7 +39,10 @@ __all__ = [
     "PathDelayReuse",
     "RoutingEngine",
     "ScenarioRouting",
+    "VALID_BACKENDS",
     "dual_link_failures",
+    "resolve_backend",
+    "validate_backend",
     "single_arc_failures",
     "single_failures",
     "single_link_failures",

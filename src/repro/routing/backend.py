@@ -1,0 +1,93 @@
+"""Size-adaptive routing-backend selection.
+
+Two implementations of the per-destination routing kernels coexist:
+
+* ``"python"`` — the pure-Python propagation loops of
+  :mod:`repro.routing.fastpath`.  At backbone scale (tens of nodes, a
+  few hundred arcs) numpy call overhead dominates, so plain lists win
+  by 3-6x there.
+* ``"vector"`` — the array-native batch kernels of
+  :mod:`repro.routing.vectorized`, which process a whole destination
+  batch as 2D arrays (one argsort of the distance columns, masked
+  scatter-adds along arcs).  Per-step numpy overhead is amortized over
+  every destination, so this side wins once the instance is large —
+  Rocketfuel-class ISP topologies at hundreds of nodes.
+
+Both produce bit-identical results on integer-weight instances (the
+parity tests pin this), so backend choice is purely an execution knob.
+``"auto"`` picks per call from the *work measure* of the batch —
+``num_destinations * (num_nodes + num_arcs)``, the element count the
+propagation sweep actually touches — against a crossover calibrated by
+``benchmarks/bench_scale.py`` (see ``BENCH_scale.json`` and the Scaling
+section of docs/PERFORMANCE.md, which record the measurement).
+"""
+
+from __future__ import annotations
+
+#: Recognized backend names.
+VALID_BACKENDS = ("auto", "python", "vector")
+
+#: Work measure (``destinations * (nodes + arcs)``) above which the
+#: vector kernels take over a *full routing* (masks + propagation +
+#: path-delay DP; the distance-column implementation dispatches
+#: separately by batch size under ``auto``).  Calibrated with
+#: ``benchmarks/bench_scale.py``: on the 16-node ISP backbone
+#: (work ~ 1.4k) the python kernels win comfortably, on the 30-node
+#: benchmark instance (30 nodes / 138 arcs, work ~ 5.0k) the
+#: production workload — incremental delta sweeps — still favors them,
+#: and from the 30-node PLTopo (work ~ 5.9k) upward the vector side
+#: wins every measured sweep, by 4-5x at 200-400 nodes.  The constant
+#: sits between those bracketing measurements.
+VECTOR_CROSSOVER_WORK = 5_500
+
+#: Crossover for *propagation-only* batches (the incremental router's
+#: scenario deltas and the path-delay DP), where no Dijkstra rides
+#: along to amortize: the batch kernels win much earlier.  Calibrated
+#: head-to-head against the python loop on powerlaw instances — the
+#: break-even sits between work ~ 2.8k (python ahead) and ~ 5.5k
+#: (vector ahead) across 100-400 nodes.
+VECTOR_PROPAGATION_CROSSOVER_WORK = 4_500
+
+
+def validate_backend(backend: str) -> str:
+    """Return ``backend`` if recognized, raise ``ValueError`` otherwise."""
+    if backend not in VALID_BACKENDS:
+        raise ValueError(
+            f"unknown routing backend {backend!r}; "
+            f"choose from {', '.join(VALID_BACKENDS)}"
+        )
+    return backend
+
+
+def resolve_backend(
+    backend: str,
+    num_nodes: int,
+    num_arcs: int,
+    num_destinations: int,
+    kind: str = "route",
+) -> str:
+    """Resolve ``"auto"`` to a concrete backend for one kernel batch.
+
+    Args:
+        backend: requested backend (``"auto"``, ``"python"``,
+            ``"vector"``).
+        num_nodes: node count of the instance.
+        num_arcs: arc count of the instance.
+        num_destinations: destinations in the batch about to be
+            processed (propagation work scales with all three).
+        kind: ``"route"`` for a full routing (distance columns + masks
+            + propagation), ``"propagate"`` for a propagation-only
+            batch — each has its own calibrated crossover.
+
+    Returns:
+        ``"python"`` or ``"vector"``.
+    """
+    if backend != "auto":
+        return validate_backend(backend)
+    threshold = (
+        VECTOR_PROPAGATION_CROSSOVER_WORK
+        if kind == "propagate"
+        else VECTOR_CROSSOVER_WORK
+    )
+    work = num_destinations * (num_nodes + num_arcs)
+    return "vector" if work >= threshold else "python"

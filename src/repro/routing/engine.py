@@ -20,17 +20,30 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro.routing.backend import resolve_backend, validate_backend
 from repro.routing.failures import NORMAL, FailureScenario, disabled_arc_mask
 from repro.routing.fastpath import (
     PropagationPlan,
-    all_destination_masks,
+    destination_mask_rows,
     fast_propagate_loads,
     fast_propagate_mean_delay,
     fast_propagate_worst_delay,
 )
 from repro.routing.loader import max_arc_value_on_paths
 from repro.routing.network import Network
-from repro.routing.spf import distance_matrix
+from repro.routing.spf import _validate_weights, distance_columns
+from repro.routing.vectorized import (
+    BatchPlan,
+    batch_propagate_mean_delay,
+    batch_propagate_worst_delay,
+    batch_total_loads,
+    build_schedule,
+)
+
+
+#: Below this many leftover delay columns the per-destination python
+#: kernel beats building a batch schedule.
+_PY_DELAY_BATCH_MAX = 12
 
 
 @dataclass(frozen=True)
@@ -70,6 +83,9 @@ class ClassRouting:
     def __getstate__(self) -> dict[str, object]:
         state = dict(self.__dict__)
         state["network"] = None
+        # Batch schedules are cheap to rebuild and heavy to ship.
+        state.pop("_batch_schedule", None)
+        state.pop("_subset_schedule", None)
         return state
 
     def bind(self, network: Network) -> "ClassRouting":
@@ -118,14 +134,27 @@ class PathDelayReuse:
 
 
 class RoutingEngine:
-    """Computes ECMP routings, loads, and path delays for one network."""
+    """Computes ECMP routings, loads, and path delays for one network.
+
+    Args:
+        network: the topology.
+        backend: kernel backend — ``"python"`` (per-destination pure
+            Python loops, fastest at backbone scale), ``"vector"``
+            (array-native destination batches, fastest on large
+            instances) or ``"auto"`` (default; per-call choice from the
+            instance's node/arc/destination counts).  Backends are
+            bit-identical on integer-weight instances, so this is purely
+            an execution knob.
+    """
 
     #: Capacity of the per-destination path-delay memo.
     _DELAY_MEMO_SIZE = 16384
 
-    def __init__(self, network: Network) -> None:
+    def __init__(self, network: Network, backend: str = "auto") -> None:
         self._network = network
+        self._backend = validate_backend(backend)
         self._plan = PropagationPlan.for_network(network)
+        self._batch_plan = BatchPlan.for_network(network)
         self._delay_memo: OrderedDict[tuple, np.ndarray] = OrderedDict()
         # The thread-pool evaluator shares one engine across workers;
         # memo bookkeeping (get + move_to_end, insert + evict) must not
@@ -138,9 +167,21 @@ class RoutingEngine:
         return self._network
 
     @property
+    def backend(self) -> str:
+        """The configured kernel backend (``auto``/``python``/``vector``)."""
+        return self._backend
+
+    @property
     def plan(self) -> PropagationPlan:
         """The propagation plan (shareable with an incremental router)."""
         return self._plan
+
+    def _resolve(self, num_destinations: int) -> str:
+        """The concrete backend for a batch of this many destinations."""
+        net = self._network
+        return resolve_backend(
+            self._backend, net.num_nodes, net.num_arcs, num_destinations
+        )
 
     # ------------------------------------------------------------------
     # routing
@@ -182,39 +223,68 @@ class RoutingEngine:
             else None
         )
         weights = np.asarray(weights, dtype=np.float64)
+        if validate:
+            _validate_weights(net, weights)
         destinations = np.flatnonzero(demands.sum(axis=0) > 0.0)
-        dist = distance_matrix(
-            net,
-            weights,
-            disabled,
-            destinations=destinations,
-            validate=validate,
+        # The demand-carrying columns are computed once, contiguously,
+        # and threaded through masks and propagation directly; the
+        # (N, N) matrix on the routing is a scatter of the same columns
+        # (consumers index it per destination).  The configured backend
+        # also selects the Dijkstra implementation: the python stack
+        # runs the per-destination heap loop, the vector stack batched
+        # scipy, and auto dispatches by batch size (seed behavior).
+        cols = distance_columns(
+            net, weights, destinations, disabled, backend=self._backend
         )
-        masks = all_destination_masks(
-            net, weights, dist, disabled, destinations
-        )
+        dist = np.full((net.num_nodes, net.num_nodes), np.inf)
+        if destinations.size:
+            dist[:, destinations] = cols
+        masks = destination_mask_rows(net, weights, cols, disabled)
 
-        loads = [0.0] * net.num_arcs
-        undelivered = 0.0
-        for row, t in enumerate(destinations):
-            undelivered += fast_propagate_loads(
-                self._plan,
-                masks[row],
-                dist[:, t],
-                demands[:, t],
-                int(t),
-                loads,
+        if self._resolve(destinations.size) == "vector":
+            schedule = build_schedule(self._batch_plan, masks, cols)
+            loads_arr, und = batch_total_loads(
+                self._batch_plan,
+                masks,
+                cols,
+                demands[:, destinations],
+                destinations,
+                schedule=schedule,
             )
-        return ClassRouting(
+            # Fold undeliverable volumes in ascending destination order —
+            # the exact float summation order of the python loop below.
+            undelivered = 0.0
+            for row in range(destinations.size):
+                undelivered += float(und[row])
+        else:
+            loads = [0.0] * net.num_arcs
+            undelivered = 0.0
+            for row, t in enumerate(destinations):
+                undelivered += fast_propagate_loads(
+                    self._plan,
+                    masks[row],
+                    dist[:, t],
+                    demands[:, t],
+                    int(t),
+                    loads,
+                )
+            loads_arr = np.asarray(loads, dtype=np.float64)
+            schedule = None
+        routing = ClassRouting(
             network=net,
             scenario=scenario,
             dist=dist,
             destinations=destinations,
             masks=masks,
-            loads=np.asarray(loads, dtype=np.float64),
+            loads=loads_arr,
             demands=demands,
             undelivered=undelivered,
         )
+        if schedule is not None:
+            # Reused by path_delays on the same routing (pure function of
+            # masks + dist, both frozen on the routing).
+            object.__setattr__(routing, "_batch_schedule", schedule)
+        return routing
 
     # ------------------------------------------------------------------
     # path metrics over an existing routing
@@ -257,8 +327,10 @@ class RoutingEngine:
         """
         if mode == "worst":
             propagate = fast_propagate_worst_delay
+            batch_propagate = batch_propagate_worst_delay
         elif mode == "mean":
             propagate = fast_propagate_mean_delay
+            batch_propagate = batch_propagate_mean_delay
         else:
             raise ValueError(f"unknown delay mode {mode!r}")
         net = self._network
@@ -266,8 +338,13 @@ class RoutingEngine:
         changed = (
             arc_delays != reuse.arc_delays if reuse is not None else None
         )
-        delays_list = arc_delays.tolist()
+        delays_list: list[float] | None = None
         out = np.full((net.num_nodes, net.num_nodes), np.nan)
+        #: Destinations that need propagation: (row, t, memo key).  The
+        #: backend is resolved *after* this loop, once the reuse/memo
+        #: hits are known — warm sweeps leave few pending columns, and
+        #: the propagation-only crossover decides for the rest.
+        pending: list[tuple[int, int, tuple | None]] = []
         for row, t in enumerate(routing.destinations):
             t = int(t)
             mask_row = routing.masks[row]
@@ -298,21 +375,107 @@ class RoutingEngine:
                 if cached is not None:
                     out[:, t] = cached
                     continue
-            column = propagate(
-                self._plan,
-                mask_row,
-                routing.dist[:, t],
-                delays_list,
-                t,
-            )
-            out[:, t] = column
-            out[t, t] = np.nan
-            if key is not None:
-                with self._delay_memo_lock:
-                    self._delay_memo[key] = out[:, t].copy()
-                    while len(self._delay_memo) > self._DELAY_MEMO_SIZE:
-                        self._delay_memo.popitem(last=False)
+            pending.append((row, t, key))
+        if pending and resolve_backend(
+            self._backend,
+            net.num_nodes,
+            net.num_arcs,
+            len(pending),
+            kind="propagate",
+        ) == "python":
+            delays_list = arc_delays.tolist()
+            for row, t, key in pending:
+                column = propagate(
+                    self._plan,
+                    routing.masks[row],
+                    routing.dist[:, t],
+                    delays_list,
+                    t,
+                )
+                out[:, t] = column
+                out[t, t] = np.nan
+                if key is not None:
+                    self._memo_put(key, out[:, t].copy())
+            pending = []
+        if pending:
+            schedule = None
+            if len(pending) == len(routing.destinations):
+                # Whole-batch propagation: reuse the schedule route_class
+                # cached on the routing.
+                schedule = routing.__dict__.get("_batch_schedule")
+            else:
+                # The incremental router hands over the schedule of the
+                # destinations it re-propagated.  When most of them are
+                # pending anyway, propagate that whole batch through the
+                # prebuilt schedule — recomputing a column that was
+                # individually reusable replays the identical bits — and
+                # only the leftovers need fresh work.
+                handed = routing.__dict__.get("_subset_schedule")
+                if handed is not None:
+                    bd = np.frombuffer(handed[0], dtype=np.intp)
+                    bd_set = set(int(t) for t in bd)
+                    covered = [p for p in pending if p[1] in bd_set]
+                    if 2 * len(covered) >= len(bd):
+                        rows_bd = np.searchsorted(routing.destinations, bd)
+                        columns = batch_propagate(
+                            self._batch_plan,
+                            routing.masks[rows_bd],
+                            None,
+                            arc_delays,
+                            bd,
+                            schedule=handed[1],
+                        )
+                        pos_of = {int(t): i for i, t in enumerate(bd)}
+                        for _, t, key in covered:
+                            out[:, t] = columns[:, pos_of[t]]
+                            out[t, t] = np.nan
+                            if key is not None:
+                                self._memo_put(key, out[:, t].copy())
+                        pending = [
+                            p for p in pending if p[1] not in bd_set
+                        ]
+        if pending:
+            if len(pending) <= _PY_DELAY_BATCH_MAX and delays_list is None:
+                delays_list = arc_delays.tolist()
+            if delays_list is not None:
+                # Leftover destinations too few to amortize a schedule
+                # build: the per-destination python kernel is cheaper.
+                for row, t, key in pending:
+                    column = propagate(
+                        self._plan,
+                        routing.masks[row],
+                        routing.dist[:, t],
+                        delays_list,
+                        t,
+                    )
+                    out[:, t] = column
+                    out[t, t] = np.nan
+                    if key is not None:
+                        self._memo_put(key, out[:, t].copy())
+            else:
+                rows = np.asarray([row for row, _, _ in pending])
+                ts = np.asarray([t for _, t, _ in pending])
+                columns = batch_propagate(
+                    self._batch_plan,
+                    routing.masks[rows],
+                    # The DP only needs distances to build a schedule.
+                    routing.dist[:, ts] if schedule is None else None,
+                    arc_delays,
+                    ts,
+                    schedule=schedule,
+                )
+                for i, (_, t, key) in enumerate(pending):
+                    out[:, t] = columns[:, i]
+                    out[t, t] = np.nan
+                    if key is not None:
+                        self._memo_put(key, out[:, t].copy())
         return out
+
+    def _memo_put(self, key: tuple, column: np.ndarray) -> None:
+        with self._delay_memo_lock:
+            self._delay_memo[key] = column
+            while len(self._delay_memo) > self._DELAY_MEMO_SIZE:
+                self._delay_memo.popitem(last=False)
 
     def path_max_utilization(
         self, routing: ClassRouting, utilization: np.ndarray

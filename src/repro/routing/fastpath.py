@@ -60,14 +60,21 @@ def all_destination_masks(
         Boolean ``(len(destinations), num_arcs)`` array; row ``i`` is the
         DAG mask towards ``destinations[i]``.
     """
-    du = dist[network.arc_src][:, destinations]  # (num_arcs, D)
-    dv = dist[network.arc_dst][:, destinations]
+    cols_t = dist.T[destinations]  # (D, N) — one small row-gather copy
+    du = cols_t[:, network.arc_src]  # (D, num_arcs)
+    dv = cols_t[:, network.arc_dst]
+    # |du - (w + dv)| <= tol, evaluated in place with the same rounding,
+    # directly in row (per-destination) orientation.  Finiteness checks
+    # are implied: any infinite endpoint makes the difference inf or
+    # nan, and neither satisfies the comparison.
     with np.errstate(invalid="ignore"):
-        mask = np.abs(du - (weights[:, None] + dv)) <= tolerance
-    mask &= np.isfinite(du) & np.isfinite(dv)
+        dv += weights[None, :]
+        du -= dv
+        np.abs(du, out=du)
+        mask = du <= tolerance
     if disabled is not None:
-        mask &= ~disabled[:, None]
-    return mask.T.copy()
+        mask &= ~disabled[None, :]
+    return mask
 
 
 def fast_propagate_loads(
@@ -161,14 +168,19 @@ def destination_mask_rows(
     destination whose distances are ``dist_cols[:, i]``; the arithmetic is
     identical, so rows are bit-identical to the all-pairs version.
     """
-    du = dist_cols[network.arc_src]  # (num_arcs, D)
-    dv = dist_cols[network.arc_dst]
+    cols_t = np.ascontiguousarray(dist_cols.T)  # (D, N)
+    du = cols_t[:, network.arc_src]  # (D, num_arcs)
+    dv = cols_t[:, network.arc_dst]
+    # Same in-place evaluation (and implied finiteness) as
+    # :func:`all_destination_masks`, so rows stay bit-identical to it.
     with np.errstate(invalid="ignore"):
-        mask = np.abs(du - (weights[:, None] + dv)) <= tolerance
-    mask &= np.isfinite(du) & np.isfinite(dv)
+        dv += weights[None, :]
+        du -= dv
+        np.abs(du, out=du)
+        mask = du <= tolerance
     if disabled is not None:
-        mask &= ~disabled[:, None]
-    return mask.T.copy()
+        mask &= ~disabled[None, :]
+    return mask
 
 
 def fast_propagate_worst_delay(

@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.routing.backend import resolve_backend, validate_backend
 from repro.routing.engine import ClassRouting
 from repro.routing.failures import (
     NORMAL,
@@ -60,6 +61,11 @@ from repro.routing.spf import (
     _dijkstra_to,
     _reverse_adjacency,
     distance_columns,
+)
+from repro.routing.vectorized import (
+    BatchPlan,
+    batch_propagate_loads,
+    build_schedule,
 )
 
 #: Weight-delta count above which :meth:`IncrementalRouter.sync` rebuilds
@@ -172,6 +178,12 @@ class IncrementalRouter:
             here, never again).
         weights: initial per-arc weights, integer-valued >= 1.
         plan: optional prebuilt propagation plan (shared with the engine).
+        backend: propagation-kernel backend for *batch* recomputations
+            (full rebuilds and many-destination scenario deltas); see
+            :mod:`repro.routing.backend`.  Single-destination deltas
+            always use the python kernels — the batch machinery cannot
+            pay for itself there — which is safe because the kernels
+            are bit-identical.
     """
 
     def __init__(
@@ -180,9 +192,12 @@ class IncrementalRouter:
         demands: np.ndarray,
         weights: np.ndarray,
         plan: PropagationPlan | None = None,
+        backend: str = "auto",
     ) -> None:
         self._net = network
         self._plan = plan or PropagationPlan.for_network(network)
+        self._backend = validate_backend(backend)
+        self._batch_plan = BatchPlan.for_network(network)
         demands = np.asarray(demands, dtype=np.float64)
         if demands.shape != (network.num_nodes, network.num_nodes):
             raise ValueError("demand matrix shape must be (N, N)")
@@ -245,15 +260,16 @@ class IncrementalRouter:
         self._weights = weights
         self._weights_list = None
         self._weights_integral = bool(np.all(weights == np.floor(weights)))
-        self._dist_cols = distance_columns(self._net, weights, self._dest)
+        self._dist_cols = distance_columns(
+            self._net, weights, self._dest, backend=self._backend
+        )
         self._masks = destination_mask_rows(
             self._net, weights, self._dist_cols
         )
         num_arcs = self._net.num_arcs
         self._contribs = np.zeros((self._dest.size, num_arcs))
         self._und = np.zeros(self._dest.size)
-        for row, t in enumerate(self._dest):
-            self._propagate_row(row, int(t))
+        self._propagate_rows(np.arange(self._dest.size))
         self._routing = None
         self.stats.rebuilds += 1
         self.stats.destinations_recomputed += int(self._dest.size)
@@ -399,6 +415,60 @@ class IncrementalRouter:
         self._contribs[row] = contrib
         self._und[row] = undelivered
 
+    def _propagate_rows(self, rows: np.ndarray) -> None:
+        """Base-state load propagation for many rows, batched when it pays.
+
+        Memo semantics match the per-row path exactly: hits replay their
+        stored floats, misses are computed (through the vector batch
+        kernel when the backend resolves that way — bit-identical to the
+        python kernel) and stored.
+        """
+        rows = np.asarray(rows, dtype=np.intp)
+        net = self._net
+        resolved = resolve_backend(
+            self._backend,
+            net.num_nodes,
+            net.num_arcs,
+            rows.size,
+            kind="propagate",
+        )
+        if resolved != "vector":
+            for row in rows:
+                self._propagate_row(int(row), int(self._dest[row]))
+            return
+        missing: list[int] = []
+        for row in rows:
+            row = int(row)
+            t = int(self._dest[row])
+            entry = self._memo.get(
+                t, self._masks[row], self._dist_cols[:, row]
+            )
+            if entry is not None:
+                self._contribs[row], self._und[row] = entry
+            else:
+                missing.append(row)
+        if not missing:
+            return
+        miss = np.asarray(missing, dtype=np.intp)
+        dests = self._dest[miss]
+        contribs, und = batch_propagate_loads(
+            self._batch_plan,
+            self._masks[miss],
+            self._dist_cols[:, miss],
+            self._demands[:, dests],
+            dests,
+        )
+        for i, row in enumerate(missing):
+            t = int(self._dest[row])
+            contrib = contribs[i].copy()
+            undelivered = float(und[i])
+            self._memo.put(
+                t, self._masks[row], self._dist_cols[:, row],
+                contrib, undelivered,
+            )
+            self._contribs[row] = contrib
+            self._und[row] = undelivered
+
     def sync(self, weights: np.ndarray) -> int:
         """Bring the router to ``weights`` by the cheapest route.
 
@@ -524,7 +594,20 @@ class IncrementalRouter:
                     int(t),
                 )
             return out
-        return distance_columns(self._net, self._weights, dests, disabled)
+        # Repair batches are small; outside the pure-python stack the
+        # seed's size dispatch stays the cheapest choice — except for
+        # non-integral weights, where the base columns came from scipy
+        # and a heap column differing by an ulp at the tolerance
+        # boundary could flip a DAG bit: keep the provenance uniform.
+        if self._backend == "python":
+            backend = "python"
+        elif self._weights_integral:
+            backend = "auto"
+        else:
+            backend = "vector"
+        return distance_columns(
+            self._net, self._weights, dests, disabled, backend=backend
+        )
 
     def _recompute_rows(
         self, rows: np.ndarray, repair_failed: "list[int] | None" = None
@@ -561,8 +644,7 @@ class IncrementalRouter:
         self._masks[rows] = destination_mask_rows(
             self._net, self._weights, cols
         )
-        for row, t in zip(rows, dests):
-            self._propagate_row(int(row), int(t))
+        self._propagate_rows(rows)
 
     # ------------------------------------------------------------------
     # assembling routings
@@ -764,23 +846,79 @@ class IncrementalRouter:
                     net, self._weights, cols, disabled
                 )
 
+        hit_list = arc_hit.tolist()
+        dem_list = dem_hit.tolist() if dem_hit is not None else None
+        need = [
+            pos
+            for pos in range(dest_s.size)
+            if hit_list[pos] or (dem_list is not None and dem_list[pos])
+        ]
+        #: Pre-computed (contrib, undelivered) per position, filled by the
+        #: vector batch path; positions absent here fall through to the
+        #: per-destination python path in the fold below.
+        computed: dict[int, tuple[np.ndarray, float]] = {}
+        batch_schedule = None
+        bd = None
+        if need and resolve_backend(
+            self._backend, n, num_arcs, len(need), kind="propagate"
+        ) == "vector":
+            batch_pos: list[int] = []
+            for pos in need:
+                t = int(dest_s[pos])
+                if dem_list is not None and dem_list[pos]:
+                    # Changed demand column: not memoizable, rare (node
+                    # removals only) — propagate individually.
+                    computed[pos] = self._propagate_for(
+                        t, masks[pos], dist[:, t], demands[:, t], False
+                    )
+                else:
+                    entry = self._memo.get(t, masks[pos], dist[:, t])
+                    if entry is not None:
+                        computed[pos] = entry
+                    else:
+                        batch_pos.append(pos)
+            if batch_pos:
+                bp = np.asarray(batch_pos, dtype=np.intp)
+                bd = dest_s[bp]
+                batch_masks = masks[bp]
+                batch_schedule = build_schedule(
+                    self._batch_plan, batch_masks, dist[:, bd]
+                )
+                contribs, und = batch_propagate_loads(
+                    self._batch_plan,
+                    batch_masks,
+                    dist[:, bd],
+                    demands[:, bd],
+                    bd,
+                    schedule=batch_schedule,
+                )
+                for i, pos in enumerate(batch_pos):
+                    t = int(dest_s[pos])
+                    contrib = contribs[i].copy()
+                    und_value = float(und[i])
+                    self._memo.put(
+                        t, masks[pos], dist[:, t], contrib, und_value
+                    )
+                    computed[pos] = (contrib, und_value)
+
         loads = np.zeros(num_arcs)
         undelivered = 0.0
         recomputed = 0
-        hit_list = arc_hit.tolist()
-        dem_list = dem_hit.tolist() if dem_hit is not None else None
         for pos, t in enumerate(dest_s.tolist()):
             demand_changed = dem_list is not None and dem_list[pos]
             if hit_list[pos] or demand_changed:
-                contrib, und = self._propagate_for(
-                    t,
-                    masks[pos],
-                    dist[:, t],
-                    demands[:, t],
-                    not demand_changed,
-                )
+                entry = computed.get(pos)
+                if entry is None:
+                    entry = self._propagate_for(
+                        t,
+                        masks[pos],
+                        dist[:, t],
+                        demands[:, t],
+                        not demand_changed,
+                    )
+                contrib, und_value = entry
                 loads += contrib
-                undelivered += und
+                undelivered += und_value
                 recomputed += 1
             else:
                 loads += base_contribs[pos]
@@ -798,6 +936,15 @@ class IncrementalRouter:
             demands=demands,
             undelivered=undelivered,
         )
+        if batch_schedule is not None:
+            # path_delays often re-propagates exactly the recomputed
+            # destinations; handing it this schedule (keyed by the
+            # destination ids it covers) skips a rebuild.
+            object.__setattr__(
+                routing,
+                "_subset_schedule",
+                (bd.tobytes(), batch_schedule),
+            )
         reusable = (
             frozenset(int(t) for t in dest_s[~arc_hit])
             if want_reusable

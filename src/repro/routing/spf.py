@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import heapq
 import weakref
+from dataclasses import dataclass
 
 import numpy as np
 from scipy.sparse import csr_matrix
@@ -32,13 +33,81 @@ def _validate_weights(network: Network, weights: np.ndarray) -> None:
         raise ValueError("arc weights must be >= 1")
 
 
-def _live_arcs(
-    network: Network, weights: np.ndarray, disabled: np.ndarray | None
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    if disabled is None:
-        return network.arc_src, network.arc_dst, weights
-    keep = ~np.asarray(disabled, dtype=bool)
-    return network.arc_src[keep], network.arc_dst[keep], weights[keep]
+@dataclass(frozen=True)
+class _CsrView:
+    """One cached CSR layout (structure only; data is per-call weights).
+
+    Attributes:
+        perm: arc-id permutation into CSR data order.
+        indices: column indices, aligned with ``perm``.
+        indptr: row pointer.
+    """
+
+    perm: np.ndarray
+    indices: np.ndarray
+    indptr: np.ndarray
+
+    def graph(
+        self,
+        n: int,
+        weights: np.ndarray,
+        disabled: np.ndarray | None,
+    ) -> csr_matrix:
+        """The CSR graph under ``weights`` (dead arcs weighted ``inf``).
+
+        An infinite-weight arc is exactly equivalent to a removed one
+        for Dijkstra — relaxations through it produce ``inf``, the same
+        "unreachable" representation — so the per-call work is one
+        gather instead of a COO build.
+        """
+        data = weights[self.perm]  # fancy indexing: always a fresh array
+        if disabled is not None:
+            data[disabled[self.perm]] = np.inf
+        return csr_matrix(
+            (data, self.indices, self.indptr), shape=(n, n)
+        )
+
+
+#: Per-network forward/reverse CSR layouts.  Weak keys: entries die with
+#: their network, and identity-keying is safe because networks are
+#: immutable.  Sweep loops build thousands of graphs per topology; the
+#: structural sort is hoisted out here and only the data gather remains
+#: per call.
+_CSR_VIEWS: "weakref.WeakKeyDictionary[Network, tuple[_CsrView, _CsrView]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def csr_views(network: Network) -> tuple[_CsrView, _CsrView]:
+    """The cached ``(forward, reverse)`` CSR layouts of a network.
+
+    Sorted by ``(row, col)``, matching what scipy's COO-to-CSR
+    conversion produces, so graphs built from these views are
+    bit-identical to per-call construction.
+    """
+    cached = _CSR_VIEWS.get(network)
+    if cached is None:
+        src, dst = network.arc_src, network.arc_dst
+        n = network.num_nodes
+        fwd_perm = np.lexsort((dst, src))
+        rev_perm = np.lexsort((src, dst))
+        fwd = _CsrView(
+            perm=fwd_perm,
+            indices=dst[fwd_perm].astype(np.int32, copy=False),
+            indptr=np.concatenate(
+                ([0], np.cumsum(np.bincount(src, minlength=n)))
+            ).astype(np.int32, copy=False),
+        )
+        rev = _CsrView(
+            perm=rev_perm,
+            indices=src[rev_perm].astype(np.int32, copy=False),
+            indptr=np.concatenate(
+                ([0], np.cumsum(np.bincount(dst, minlength=n)))
+            ).astype(np.int32, copy=False),
+        )
+        cached = (fwd, rev)
+        _CSR_VIEWS[network] = cached
+    return cached
 
 
 def distance_matrix(
@@ -79,9 +148,8 @@ def distance_matrix(
                 network, weights, destinations, disabled
             )
         return out
-    src, dst, data = _live_arcs(network, weights, disabled)
-    graph = csr_matrix((data, (src, dst)), shape=(n, n))
-    return dijkstra(graph, directed=True)
+    forward, _ = csr_views(network)
+    return dijkstra(forward.graph(n, weights, disabled), directed=True)
 
 
 #: Below this many requested columns a pure-Python heap Dijkstra beats
@@ -95,17 +163,26 @@ def distance_columns(
     weights: np.ndarray,
     destinations: np.ndarray,
     disabled: np.ndarray | None = None,
+    backend: str = "auto",
 ) -> np.ndarray:
     """Distance columns ``dist[:, t]`` for the given destinations only.
 
     Dijkstra runs on the *reversed* graph from each destination:
     distances from ``t`` in the reversed graph are exactly distances *to*
-    ``t`` in the forward graph.  Large batches go through scipy's C
-    implementation; small batches (the incremental router's common case)
-    use an in-process heap Dijkstra that skips the per-call CSR build.
-    Weights are integer-valued, so every path sum is exact in float64 and
-    the columns are bit-identical whichever implementation ran (for
-    non-integral weights the scipy path is always used).
+    ``t`` in the forward graph.  Two implementations exist — scipy's C
+    Dijkstra over the cached reverse CSR view (one data gather per call,
+    no COO build; the whole batch in one call) and an in-process
+    pure-Python heap Dijkstra per destination that skips scipy's call
+    overhead.  ``backend`` selects: ``"python"`` always runs the heap
+    loop, ``"vector"`` always runs batched scipy, and ``"auto"``
+    (default) picks by batch size — the heap loop below
+    :data:`_PY_DIJKSTRA_MAX_COLS` columns (the incremental router's
+    common case, where scipy's per-call overhead dominates), scipy
+    above.  The heap path is weight-dtype-agnostic: for integer-valued
+    weights every path sum is exact in float64 and the columns are
+    bit-identical whichever implementation ran; for float weights the
+    implementations agree to within :data:`SPF_TOLERANCE` (the margin
+    every DAG-membership test applies).
 
     Returns:
         ``(N, len(destinations))`` float array, column ``i`` holding the
@@ -115,8 +192,8 @@ def distance_columns(
     destinations = np.asarray(destinations, dtype=np.intp)
     if destinations.size == 0:
         return np.empty((n, 0), dtype=np.float64)
-    if destinations.size <= _PY_DIJKSTRA_MAX_COLS and np.all(
-        weights == np.floor(weights)
+    if backend == "python" or (
+        backend == "auto" and destinations.size <= _PY_DIJKSTRA_MAX_COLS
     ):
         out = np.empty((n, destinations.size), dtype=np.float64)
         dead = (
@@ -132,9 +209,12 @@ def distance_columns(
                 n, in_arcs, arc_src, weight_list, dead, int(t)
             )
         return out
-    src, dst, data = _live_arcs(network, weights, disabled)
-    reversed_graph = csr_matrix((data, (dst, src)), shape=(n, n))
-    from_t = dijkstra(reversed_graph, directed=True, indices=destinations)
+    _, reverse = csr_views(network)
+    from_t = dijkstra(
+        reverse.graph(n, weights, disabled),
+        directed=True,
+        indices=destinations,
+    )
     return np.ascontiguousarray(from_t.T)
 
 

@@ -119,6 +119,52 @@ class TestDistanceColumns:
             single = distance_columns(network, weights, np.array([t]))
             np.testing.assert_array_equal(single[:, 0], via_scipy[:, t])
 
+    def test_float_weight_small_batch_stays_on_fast_path(self, monkeypatch):
+        """Float weights no longer bail out of the heap fast path.
+
+        A small batch must not silently divert to scipy just because the
+        weights are non-integral: scipy's Dijkstra is made to explode, so
+        any fallback would fail the test, and the heap columns are pinned
+        against the full matrix within the SPF tolerance.
+        """
+        from repro.routing import spf
+        from repro.topology import rand_topology
+
+        gen = np.random.default_rng(29)
+        network = rand_topology(20, 4.0, gen)
+        weights = gen.uniform(1.0, 18.0, network.num_arcs)
+        full = distance_matrix(network, weights)
+
+        def boom(*args, **kwargs):
+            raise AssertionError(
+                "scipy path taken for a small float-weight batch"
+            )
+
+        monkeypatch.setattr(spf, "dijkstra", boom)
+        destinations = np.array([2, 7, 11])
+        cols = distance_columns(network, weights, destinations)
+        np.testing.assert_allclose(
+            cols, full[:, destinations], atol=1e-9
+        )
+
+    def test_backend_selects_dijkstra_implementation(self):
+        """backend= pins the implementation regardless of batch size."""
+        from repro.topology import rand_topology
+
+        gen = np.random.default_rng(31)
+        network = rand_topology(20, 4.0, gen)
+        weights = gen.integers(1, 18, network.num_arcs).astype(np.float64)
+        all_dests = np.arange(20)
+        via_auto = distance_columns(network, weights, all_dests)
+        via_python = distance_columns(
+            network, weights, all_dests, backend="python"
+        )
+        via_vector = distance_columns(
+            network, weights, np.array([3]), backend="vector"
+        )
+        np.testing.assert_array_equal(via_python, via_auto)
+        np.testing.assert_array_equal(via_vector[:, 0], via_auto[:, 3])
+
 
 class TestShortestArcMask:
     def test_ecmp_ties_both_on_dag(self, square_network):
