@@ -1,8 +1,10 @@
 """Evaluation metrics used across the paper's tables and figures.
 
-These helpers turn raw :class:`~repro.core.evaluation.FailureEvaluation`
-objects into the numbers the paper reports: SLA-violation statistics,
-throughput-cost degradations, and the accuracy metrics of Table I.
+These helpers turn raw :class:`~repro.core.evaluation.ScenarioCosts`
+objects (scenario-sweep results — single-link failure sets and composed
+scenario families alike) into the numbers the paper reports:
+SLA-violation statistics, throughput-cost degradations, and the accuracy
+metrics of Table I.
 """
 
 from __future__ import annotations
@@ -11,12 +13,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.evaluation import FailureEvaluation, ScenarioEvaluation
+from repro.core.evaluation import ScenarioCosts, ScenarioEvaluation
 
 
 @dataclass(frozen=True)
 class SlaViolationStats:
-    """SLA-violation summary over a failure set.
+    """SLA-violation summary over a scenario set.
 
     Attributes:
         mean: average violations per failure scenario.
@@ -34,7 +36,7 @@ class SlaViolationStats:
 
     @classmethod
     def from_failures(
-        cls, evaluation: FailureEvaluation
+        cls, evaluation: ScenarioCosts
     ) -> "SlaViolationStats":
         counts = evaluation.violations
         return cls(
@@ -46,13 +48,13 @@ class SlaViolationStats:
         )
 
 
-def beta_metric(evaluation: FailureEvaluation) -> float:
+def beta_metric(evaluation: ScenarioCosts) -> float:
     """Table I's ``beta``: mean SLA violations across single failures."""
     return evaluation.mean_violations()
 
 
 def phi_gap_percent(
-    candidate: FailureEvaluation, reference: FailureEvaluation
+    candidate: ScenarioCosts, reference: ScenarioCosts
 ) -> float:
     """Table I's ``beta_Phi``: relative throughput-cost gap, in percent.
 

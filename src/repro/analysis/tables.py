@@ -78,6 +78,31 @@ def render_table(
     return "\n".join(lines)
 
 
+def scenario_kind_columns(
+    costs, top_fraction: float = 0.1
+) -> dict[str, object]:
+    """Per-scenario-kind breakdown columns for one table row.
+
+    Splits a :class:`~repro.core.evaluation.ScenarioCosts` (anything with
+    ``by_kind()`` whose sub-results answer ``mean_violations()`` /
+    ``top_fraction_mean_violations``) into one violations column and one
+    worst-``top_fraction`` column per scenario kind, e.g.
+    ``viol[srlg]`` / ``top10%[srlg]``.  Single-kind sweeps produce no
+    extra columns — the aggregate columns already tell the story.
+    """
+    kinds = costs.kinds()
+    if len(kinds) < 2:
+        return {}
+    columns: dict[str, object] = {}
+    percent = f"{top_fraction:.0%}"
+    for kind, sub in costs.by_kind().items():
+        columns[f"viol[{kind}]"] = sub.mean_violations()
+        columns[f"top{percent}[{kind}]"] = (
+            sub.top_fraction_mean_violations(top_fraction)
+        )
+    return columns
+
+
 def render_kv(
     pairs: Mapping[str, object], title: str | None = None, digits: int = 3
 ) -> str:

@@ -5,6 +5,7 @@ from repro.core.delay import arc_delays, queueing_delay_at
 from repro.core.evaluation import (
     DtrEvaluator,
     FailureEvaluation,
+    ScenarioCosts,
     ScenarioEvaluation,
 )
 from repro.core.fortz import fortz_cost, fortz_link_cost
@@ -45,6 +46,7 @@ __all__ = [
     "RobustConstraints",
     "RobustDtrOptimizer",
     "RobustRoutingResult",
+    "ScenarioCosts",
     "ScenarioEvaluation",
     "SlaOutcome",
     "WeightSetting",

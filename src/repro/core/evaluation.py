@@ -27,12 +27,25 @@ the destinations the delta can affect, and path-delay columns of
 untouched destinations are copied from the ``reuse`` evaluation instead
 of re-propagated.  All of it is bit-identical to from-scratch
 evaluation; tests pin the parity.
+
+Scenario composition (:mod:`repro.scenarios`): every evaluation entry
+point also accepts composed :class:`~repro.scenarios.Scenario` objects
+and :class:`~repro.scenarios.ScenarioSet` collections.  The topology
+part is unwrapped onto the exact legacy path (so a legacy-equivalent
+ScenarioSet is bit-identical to its FailureSet), and a traffic variant
+routes the evaluation through a cached *sibling* evaluator bound to the
+perturbed traffic — the sibling owns its own incremental routers and
+propagation memos, making every reuse key traffic-variant-aware by
+construction.  :meth:`DtrEvaluator.evaluate_scenarios` is the one sweep
+contract shared by the serial, caching and parallel evaluators.
 """
 
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass, replace
+from typing import Sequence, Union
 
 import numpy as np
 
@@ -47,7 +60,20 @@ from repro.routing.engine import ClassRouting, PathDelayReuse, RoutingEngine
 from repro.routing.failures import NORMAL, FailureScenario, FailureSet
 from repro.routing.incremental import IncrementalRouter
 from repro.routing.network import Network
+from repro.scenarios.scenario import Scenario, ScenarioSet
+from repro.scenarios.variants import TrafficVariant
 from repro.traffic.gravity import DtrTraffic
+
+#: Everything the sweep entry points accept as a scenario collection: a
+#: ScenarioSet, a legacy FailureSet, or any sequence of Scenario /
+#: FailureScenario items.
+Scenarios = Union[ScenarioSet, FailureSet, Sequence]
+
+#: LRU capacity of each variant's NORMAL-evaluation cache (the robust
+#: search alternates between an incumbent and one candidate setting, so
+#: a handful of entries per variant already serves every hit; the cache
+#: is per variant, so wide cross products cannot thrash it).
+_VARIANT_NORMAL_CACHE = 4
 
 
 @dataclass(frozen=True)
@@ -55,7 +81,9 @@ class ScenarioEvaluation:
     """Full outcome of one (weight setting, scenario) evaluation.
 
     Attributes:
-        scenario: the failure scenario evaluated.
+        scenario: the topology part of the scenario evaluated (a
+            composed scenario's failure half; the traffic half is in
+            ``variant``).
         cost: the global cost ``K = <Lambda, Phi>``.
         sla: SLA accounting for the delay class.
         loads_delay: per-arc delay-class loads.
@@ -66,6 +94,10 @@ class ScenarioEvaluation:
         routing_delay: the delay-class routing (enables failure-sweep
             reuse; None on reused evaluations).
         routing_tput: the throughput-class routing.
+        variant: the traffic variant in force (None = base traffic).
+        kind: the scenario-family tag when the evaluation came from a
+            composed :class:`~repro.scenarios.Scenario` (None on plain
+            failure evaluations).
     """
 
     scenario: FailureScenario
@@ -78,6 +110,8 @@ class ScenarioEvaluation:
     utilization: np.ndarray
     routing_delay: ClassRouting | None = None
     routing_tput: ClassRouting | None = None
+    variant: TrafficVariant | None = None
+    kind: str | None = None
 
     @property
     def total_loads(self) -> np.ndarray:
@@ -86,8 +120,12 @@ class ScenarioEvaluation:
 
 
 @dataclass(frozen=True)
-class FailureEvaluation:
-    """Costs of one weight setting across a whole failure set.
+class ScenarioCosts:
+    """Costs of one weight setting across a whole scenario set.
+
+    The generalization of the old failure-sweep result to composed
+    scenarios: outcomes may mix failure kinds and traffic variants, and
+    :meth:`by_kind` splits them back out for per-family reporting.
 
     Attributes:
         evaluations: per-scenario outcomes, in scenario order.
@@ -135,6 +173,34 @@ class FailureEvaluation:
         k = max(1, round(fraction * len(counts)))
         return float(counts[:k].mean())
 
+    def kinds(self) -> tuple[str, ...]:
+        """Distinct scenario kinds, in first-appearance order.
+
+        Evaluations without a kind tag (plain failure sweeps) report as
+        ``"failure"``.
+        """
+        seen: dict[str, None] = {}
+        for evaluation in self.evaluations:
+            seen.setdefault(evaluation.kind or "failure")
+        return tuple(seen)
+
+    def by_kind(self) -> "dict[str, ScenarioCosts]":
+        """Per-kind sub-results, preserving scenario order within each."""
+        return {
+            kind: ScenarioCosts(
+                tuple(
+                    e
+                    for e in self.evaluations
+                    if (e.kind or "failure") == kind
+                )
+            )
+            for kind in self.kinds()
+        }
+
+
+FailureEvaluation = ScenarioCosts
+"""Legacy name of :class:`ScenarioCosts` (pre-scenario-subsystem API)."""
+
 
 class DtrEvaluator:
     """Cost oracle for one (network, traffic, configuration) instance."""
@@ -159,6 +225,13 @@ class DtrEvaluator:
         self._incremental = config.execution.incremental_routing
         self._routers: dict[str, IncrementalRouter] = {}
         self._router_lock = threading.RLock()
+        #: Sibling oracles bound to variant-perturbed traffic, keyed by
+        #: variant digest (see :meth:`_variant_evaluator`).
+        self._variant_evaluators: dict[str, DtrEvaluator] = {}
+        #: Per-variant LRUs of NORMAL evaluations, keyed by setting.
+        self._variant_normal_cache: dict[
+            str, OrderedDict[tuple[bytes, bytes], ScenarioEvaluation]
+        ] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -198,27 +271,46 @@ class DtrEvaluator:
         )
 
     def close(self) -> None:
-        """Release execution resources (no-op for the serial evaluator)."""
+        """Release execution resources (variant sibling oracles)."""
+        siblings = list(self._variant_evaluators.values())
+        self._variant_evaluators.clear()
+        self._variant_normal_cache.clear()
+        for sibling in siblings:
+            sibling.close()
 
     # ------------------------------------------------------------------
     def evaluate(
         self,
         setting: WeightSetting,
-        scenario: FailureScenario = NORMAL,
+        scenario: "FailureScenario | Scenario" = NORMAL,
         reuse: ScenarioEvaluation | None = None,
     ) -> ScenarioEvaluation:
         """Cost of one weight setting under one scenario.
 
         Args:
             setting: the DTR weight setting.
-            scenario: failure scenario.
+            scenario: failure scenario, or a composed
+                :class:`~repro.scenarios.Scenario` (its topology part is
+                unwrapped onto the exact legacy path; a traffic variant
+                delegates to the variant's sibling oracle).
             reuse: a NORMAL-scenario evaluation *of the same setting*
-                (with routings attached); classes whose shortest-path
-                DAGs avoid every failed arc are not re-routed, and with
-                incremental routing the unaffected destinations of
-                partially-affected classes reuse their distance, mask and
-                path-delay columns too.
+                under base traffic (with routings attached); classes
+                whose shortest-path DAGs avoid every failed arc are not
+                re-routed, and with incremental routing the unaffected
+                destinations of partially-affected classes reuse their
+                distance, mask and path-delay columns too.  Ignored by
+                traffic-variant scenarios, which maintain their own
+                per-variant reuse.
         """
+        kind: str | None = None
+        if isinstance(scenario, Scenario):
+            if scenario.variant is not None:
+                return self._evaluate_variant(setting, scenario)
+            kind = scenario.kind
+            scenario = scenario.failure
+        if reuse is not None and reuse.variant is not None:
+            # A variant evaluation cannot seed base-traffic reuse.
+            reuse = None
         if setting.num_arcs != self._network.num_arcs:
             raise ValueError("weight setting does not match the network")
         self._num_evaluations += 1
@@ -248,6 +340,7 @@ class DtrEvaluator:
                     scenario=scenario,
                     routing_delay=None,
                     routing_tput=None,
+                    kind=kind,
                 )
 
         base_d = (
@@ -311,13 +404,102 @@ class DtrEvaluator:
             utilization=total / self._network.capacity,
             routing_delay=routing_d,
             routing_tput=routing_t,
+            kind=kind,
         )
+
+    # ------------------------------------------------------------------
+    # traffic-variant delegation
+    # ------------------------------------------------------------------
+    def _evaluate_variant(
+        self, setting: WeightSetting, composed: Scenario
+    ) -> ScenarioEvaluation:
+        """Evaluate a traffic-variant scenario through its sibling oracle.
+
+        The variant's perturbed traffic gets a dedicated sibling
+        evaluator (cached per variant digest), so its incremental
+        routers, propagation memos and routing caches are bound to that
+        traffic — every reuse key is traffic-variant-aware by
+        construction, with no collisions against base-traffic state.
+        For composed failure×variant scenarios the sibling's NORMAL
+        evaluation of the same setting (small per-variant LRU) supplies
+        the failed-arc shortcut.  Returned evaluations carry no
+        routings: they belong to the sibling and must not seed
+        base-traffic reuse.
+
+        The parent lock guards only the sibling registry and the NORMAL
+        cache, never the evaluation itself — the sibling serializes its
+        own routing work under its own lock, so threaded sweeps keep
+        plain-failure and variant evaluations concurrent.  A racing
+        duplicate NORMAL evaluation is possible and harmless: results
+        are bit-identical, last write wins.
+        """
+        variant = composed.variant
+        assert variant is not None
+        self._num_evaluations += 1
+        with self._router_lock:
+            sibling = self._variant_evaluator(variant)
+        v_reuse = None
+        if not composed.failure.is_normal:
+            v_reuse = self._variant_normal(sibling, variant, setting)
+        outcome = sibling.evaluate(setting, composed.failure, reuse=v_reuse)
+        return replace(
+            outcome,
+            variant=variant,
+            kind=composed.kind,
+            routing_delay=None,
+            routing_tput=None,
+        )
+
+    def _variant_evaluator(self, variant: TrafficVariant) -> "DtrEvaluator":
+        """The sibling oracle for one variant (built on first use)."""
+        sibling = self._variant_evaluators.get(variant.digest)
+        if sibling is None:
+            sibling = self.with_traffic(variant.apply(self._traffic))
+            self._variant_evaluators[variant.digest] = sibling
+        return sibling
+
+    def _variant_normal(
+        self,
+        sibling: "DtrEvaluator",
+        variant: TrafficVariant,
+        setting: WeightSetting,
+    ) -> ScenarioEvaluation:
+        """The sibling's NORMAL evaluation of ``setting``, LRU-cached.
+
+        One LRU per variant: a failures-major cross product touches
+        every variant once per failure, so a cache shared across
+        variants would evict each entry right before its next use.
+        """
+        key = (setting.delay.tobytes(), setting.tput.tobytes())
+        with self._router_lock:
+            cache = self._variant_normal_cache.setdefault(
+                variant.digest, OrderedDict()
+            )
+            entry = cache.get(key)
+            if entry is not None:
+                cache.move_to_end(key)
+                return entry
+        entry = sibling.evaluate(setting, NORMAL)
+        with self._router_lock:
+            cache[key] = entry
+            while len(cache) > _VARIANT_NORMAL_CACHE:
+                cache.popitem(last=False)
+        return entry
 
     def _router_for(
         self, class_id: str, weights: np.ndarray, demands: np.ndarray
     ) -> IncrementalRouter:
-        """The per-class incremental router (built on first use)."""
+        """The per-class incremental router (built on first use).
+
+        A cached router is discarded when it no longer routes the
+        requested demands — cannot happen through the public API (an
+        evaluator's traffic is fixed; variants get sibling evaluators),
+        but a stale router silently corrupting loads is the one failure
+        mode worth an explicit guard.
+        """
         router = self._routers.get(class_id)
+        if router is not None and not router.routes_demands(demands):
+            router = None
         if router is None:
             router = IncrementalRouter(
                 self._network,
@@ -451,22 +633,41 @@ class DtrEvaluator:
         """
         return tuple(self.evaluate_normal(s) for s in settings)
 
-    def evaluate_failures(
+    def evaluate_scenarios(
         self,
         setting: WeightSetting,
-        failures: FailureSet,
+        scenarios: Scenarios,
         reuse: ScenarioEvaluation | None = None,
-    ) -> FailureEvaluation:
-        """Cost of the setting under every scenario of a failure set.
+    ) -> ScenarioCosts:
+        """Cost of the setting under every scenario of a set.
+
+        The one sweep contract shared by every evaluator (serial,
+        caching, parallel — all bit-identical): ``scenarios`` may be a
+        :class:`~repro.scenarios.ScenarioSet`, a legacy
+        :class:`~repro.routing.failures.FailureSet`, or any sequence of
+        :class:`~repro.scenarios.Scenario` / :class:`FailureScenario`
+        items.  Scenarios are evaluated in enumeration order and costs
+        fold in that order, so equal sets produce bit-identical sums.
 
         Args:
             setting: the DTR weight setting.
-            failures: scenarios to sweep.
-            reuse: optional NORMAL evaluation of ``setting`` for the
-                unchanged-routing shortcut (computed on demand if omitted).
+            scenarios: scenarios to sweep.
+            reuse: optional NORMAL evaluation of ``setting`` under base
+                traffic for the unchanged-routing shortcut (computed on
+                demand if omitted; traffic-variant scenarios maintain
+                their own per-variant reuse instead).
         """
         if reuse is None:
             reuse = self.evaluate_normal(setting)
-        return FailureEvaluation(
-            tuple(self.evaluate(setting, s, reuse=reuse) for s in failures)
+        return ScenarioCosts(
+            tuple(self.evaluate(setting, s, reuse=reuse) for s in scenarios)
         )
+
+    def evaluate_failures(
+        self,
+        setting: WeightSetting,
+        failures: Scenarios,
+        reuse: ScenarioEvaluation | None = None,
+    ) -> ScenarioCosts:
+        """Legacy name for :meth:`evaluate_scenarios` (same contract)."""
+        return self.evaluate_scenarios(setting, failures, reuse=reuse)

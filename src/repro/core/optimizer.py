@@ -24,12 +24,10 @@ from repro.core.phase2 import (
     run_phase2,
 )
 from repro.core.weights import WeightSetting
-from repro.routing.failures import (
-    FailureModel,
-    FailureSet,
-    single_failures,
-)
+from repro.routing.failures import FailureModel
 from repro.routing.network import Network
+from repro.scenarios.generators import legacy_failures
+from repro.scenarios.scenario import ScenarioSet
 from repro.traffic.gravity import DtrTraffic
 
 
@@ -40,16 +38,18 @@ class RobustRoutingResult:
     Attributes:
         phase1: regular optimization + criticality outcome.
         phase2: robust optimization outcome.
-        critical_failures: the failure scenarios Phase 2 optimized over.
-        all_failures: the complete single-failure set of the network.
+        critical_failures: the scenarios Phase 2 optimized over.
+        all_failures: the full scenario set of the run: the network's
+            single-failure set (as a legacy-equivalent ScenarioSet) by
+            default, or the explicit ScenarioSet the optimizer was given.
         phase1_seconds: wall time of Phase 1.
         phase2_seconds: wall time of Phase 2.
     """
 
     phase1: Phase1Result
     phase2: Phase2Result
-    critical_failures: FailureSet
-    all_failures: FailureSet
+    critical_failures: ScenarioSet
+    all_failures: ScenarioSet
     phase1_seconds: float
     phase2_seconds: float
 
@@ -82,8 +82,16 @@ class RobustDtrOptimizer:
             ``routing_cache`` reuses class routings across settings; both
             are bit-identical to the serial evaluator.
         failure_model: granularity of single-failure enumeration
-            (physical link by default; per-arc available).
+            (physical link by default; per-arc available).  Ignored when
+            ``scenarios`` is given.
         rng: random generator; pass a seeded one for reproducibility.
+        scenarios: optimize robustness against this explicit
+            :class:`~repro.scenarios.ScenarioSet` (SRLGs, k-link,
+            regional, node, surge, cross products, ...) instead of the
+            paper's single-failure enumeration.  An explicit set is
+            swept in full — Phase 1's critical-link restriction only
+            applies to the default single-failure set, whose per-link
+            cost samples are what the criticality estimate measures.
     """
 
     def __init__(
@@ -93,10 +101,12 @@ class RobustDtrOptimizer:
         config: OptimizerConfig = PAPER_CONFIG,
         failure_model: FailureModel = FailureModel.LINK,
         rng: np.random.Generator | None = None,
+        scenarios: ScenarioSet | None = None,
     ) -> None:
         self._evaluator = make_evaluator(network, traffic, config)
         self._failure_model = failure_model
         self._rng = rng if rng is not None else np.random.default_rng()
+        self._scenarios = scenarios
 
     @property
     def evaluator(self) -> DtrEvaluator:
@@ -130,13 +140,17 @@ class RobustDtrOptimizer:
         )
         t1 = time.perf_counter()
 
-        all_failures = single_failures(network, self._failure_model)
-        if full_search:
-            critical_failures = all_failures
+        if self._scenarios is not None:
+            all_failures = self._scenarios
+            critical_failures = self._scenarios
         else:
-            critical_failures = all_failures.restricted_to_arcs(
-                phase1.critical_arcs
-            )
+            all_failures = legacy_failures(network, self._failure_model)
+            if full_search:
+                critical_failures = all_failures
+            else:
+                critical_failures = all_failures.restricted_to_arcs(
+                    phase1.critical_arcs
+                )
         constraints = RobustConstraints(
             lam_star=phase1.best_cost.lam,
             phi_star=phase1.best_cost.phi,

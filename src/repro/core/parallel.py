@@ -22,8 +22,12 @@ without changing a single computed bit:
 * :class:`CachingDtrEvaluator` — a drop-in evaluator that interposes the
   cache on every class routing.
 
-* :class:`ParallelDtrEvaluator` — additionally fans failure sweeps and
-  normal-evaluation batches out across a ``concurrent.futures`` pool
+* :class:`ParallelDtrEvaluator` — additionally fans scenario sweeps
+  (legacy failure sets and composed :class:`~repro.scenarios.ScenarioSet`
+  collections alike, through the one
+  :meth:`~repro.core.evaluation.DtrEvaluator.evaluate_scenarios`
+  contract) and normal-evaluation batches out across a
+  ``concurrent.futures`` pool
   (processes by default; the propagation kernels are pure Python, so
   threads only help where fork is unavailable).  Scenario order, and
   therefore every floating-point sum, is preserved, so results are
@@ -55,13 +59,15 @@ import numpy as np
 from repro.config import OptimizerConfig
 from repro.core.evaluation import (
     DtrEvaluator,
-    FailureEvaluation,
+    ScenarioCosts,
     ScenarioEvaluation,
+    Scenarios,
 )
 from repro.core.weights import WeightSetting
 from repro.routing.engine import ClassRouting
-from repro.routing.failures import FailureScenario, FailureSet
+from repro.routing.failures import FailureScenario
 from repro.routing.network import Network
+from repro.scenarios.scenario import Scenario
 from repro.traffic.gravity import DtrTraffic
 
 
@@ -319,10 +325,16 @@ def _strip_routings(evaluation: ScenarioEvaluation) -> ScenarioEvaluation:
 def _worker_sweep(
     delay_weights: np.ndarray,
     tput_weights: np.ndarray,
-    scenarios: tuple[FailureScenario, ...],
+    scenarios: "tuple[FailureScenario | Scenario, ...]",
     reuse: ScenarioEvaluation | None,
 ) -> tuple[list[ScenarioEvaluation], int, tuple[int, int, int]]:
     """Evaluate one scenario chunk in a worker process.
+
+    Chunks may mix plain failure scenarios and composed
+    :class:`~repro.scenarios.Scenario` items; the worker's evaluator
+    unwraps them exactly like the serial path (variant scenarios build
+    their sibling oracles per process, seeded deterministically, so the
+    fan-out stays bit-identical to a serial sweep).
 
     Returns the stripped evaluations in input order plus the worker's pid
     and *cumulative* cache counters (the parent keeps the latest counters
@@ -416,11 +428,12 @@ class ParallelDtrEvaluator(CachingDtrEvaluator):
         return total
 
     def close(self) -> None:
-        """Shut down the worker pool (idempotent)."""
+        """Shut down the worker pool and sibling oracles (idempotent)."""
         with self._pool_lock:
             pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True)
+        super().close()
 
     def __enter__(self) -> "ParallelDtrEvaluator":
         return self
@@ -470,41 +483,47 @@ class ParallelDtrEvaluator(CachingDtrEvaluator):
         self._worker_stats[pid] = CacheStats(*counters)
 
     # ------------------------------------------------------------------
-    def evaluate_failures(
+    def evaluate_scenarios(
         self,
         setting: WeightSetting,
-        failures: FailureSet | list,
+        scenarios: Scenarios,
         reuse: ScenarioEvaluation | None = None,
-    ) -> FailureEvaluation:
-        """Parallel counterpart of :meth:`DtrEvaluator.evaluate_failures`.
+    ) -> ScenarioCosts:
+        """Parallel counterpart of :meth:`DtrEvaluator.evaluate_scenarios`.
 
-        Scenario chunks run concurrently; results are reassembled in
-        scenario order, so ``FailureEvaluation.total_cost`` sums in the
-        same order as the serial sweep and is bit-identical to it.
+        Same contract as the serial sweep — a
+        :class:`~repro.scenarios.ScenarioSet`, a legacy ``FailureSet``
+        or any scenario sequence.  Scenario chunks run concurrently;
+        results are reassembled in scenario order, so
+        ``ScenarioCosts.total_cost`` sums in the same order as the
+        serial sweep and is bit-identical to it.  Chunk boundaries key
+        off nothing but list position, and composed scenarios are
+        shipped by value (their digests pin content), so the split is
+        deterministic.
         """
-        scenarios = list(failures)
-        if self._n_jobs == 1 or len(scenarios) < 2:
-            return super().evaluate_failures(setting, failures, reuse=reuse)
+        items = list(scenarios)
+        if self._n_jobs == 1 or len(items) < 2:
+            return super().evaluate_scenarios(setting, items, reuse=reuse)
         if reuse is None:
             reuse = self.evaluate_normal(setting)
 
         if self._executor_kind == "thread":
             before = self._num_evaluations
-            outcomes = self._threaded_sweep(setting, scenarios, reuse)
+            outcomes = self._threaded_sweep(setting, items, reuse)
             # Worker threads bumped the (non-atomic) counter; restate it.
-            self._num_evaluations = before + len(scenarios)
+            self._num_evaluations = before + len(items)
         else:
             # The reuse evaluation ships WITH its routings — workers need
             # them for the failed-arc shortcut; ClassRouting drops its
             # Network back-reference on pickling, so the payload is small.
-            outcomes = self._process_sweep(setting, scenarios, reuse)
-            self._num_evaluations += len(scenarios)
-        return FailureEvaluation(tuple(outcomes))
+            outcomes = self._process_sweep(setting, items, reuse)
+            self._num_evaluations += len(items)
+        return ScenarioCosts(tuple(outcomes))
 
     def _process_sweep(
         self,
         setting: WeightSetting,
-        scenarios: list[FailureScenario],
+        scenarios: "list[FailureScenario | Scenario]",
         reuse: ScenarioEvaluation,
     ) -> list[ScenarioEvaluation]:
         pool = self._ensure_pool()
@@ -528,7 +547,7 @@ class ParallelDtrEvaluator(CachingDtrEvaluator):
     def _threaded_sweep(
         self,
         setting: WeightSetting,
-        scenarios: list[FailureScenario],
+        scenarios: "list[FailureScenario | Scenario]",
         reuse: ScenarioEvaluation,
     ) -> list[ScenarioEvaluation]:
         pool = self._ensure_pool()

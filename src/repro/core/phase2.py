@@ -1,11 +1,17 @@
-"""Phase 2: robust optimization over a failure set (Section IV-A).
+"""Phase 2: robust optimization over a scenario set (Section IV-A).
 
 Starting from the acceptable weight settings recorded in Phase 1, Phase 2
-locally searches for the setting minimizing the compounded failure cost
+locally searches for the setting minimizing the compounded scenario cost
 ``K_fail = <Lambda_fail, Phi_fail>`` (Eq. 4 — or Eq. 7 when the failure
 set is restricted to critical links), subject to the normal-condition
 constraints of Eqs. (5)-(6): the delay cost must stay at ``Lambda*`` and
 the throughput cost within ``(1 + chi) Phi*``.
+
+The search is scenario-agnostic: it accepts any
+:class:`~repro.scenarios.ScenarioSet` — the paper's single-link set, an
+SRLG or regional family, traffic surges, failure×surge cross products —
+as well as a legacy :class:`~repro.routing.failures.FailureSet` (the two
+are bit-identical through the evaluator's unwrapping path).
 
 Candidate evaluation is the hot path: the normal-scenario constraint
 check runs first (one evaluation, through the evaluator's incremental
@@ -27,7 +33,7 @@ import numpy as np
 from repro.config import OptimizerConfig
 from repro.core.evaluation import (
     DtrEvaluator,
-    FailureEvaluation,
+    ScenarioCosts,
     ScenarioEvaluation,
 )
 from repro.core.lexicographic import (
@@ -43,6 +49,7 @@ from repro.core.local_search import (
 from repro.core.perturbation import random_phase2_move, scramble_some_arcs
 from repro.core.weights import WeightSetting
 from repro.routing.failures import FailureSet
+from repro.scenarios.scenario import ScenarioSet
 
 
 @dataclass(frozen=True)
@@ -70,7 +77,7 @@ class RobustConstraints:
 def bounded_failure_cost(
     evaluator: DtrEvaluator,
     setting: WeightSetting,
-    failures: "FailureSet | list",
+    failures: "ScenarioSet | FailureSet | list",
     bound: CostPair | None,
     stats: SearchStats | None = None,
     reuse: "ScenarioEvaluation | None" = None,
@@ -102,7 +109,7 @@ def bounded_failure_cost(
 def _ordered_sweep(
     evaluator: DtrEvaluator,
     setting: WeightSetting,
-    failures: FailureSet,
+    failures: "ScenarioSet | FailureSet",
     stats: SearchStats,
     reuse: "ScenarioEvaluation | None" = None,
 ) -> tuple[list, CostPair]:
@@ -118,7 +125,7 @@ def _ordered_sweep(
     if reuse is None:
         reuse = evaluator.evaluate_normal(setting)
         stats.evaluations += 1
-    evaluation = evaluator.evaluate_failures(setting, failures, reuse=reuse)
+    evaluation = evaluator.evaluate_scenarios(setting, failures, reuse=reuse)
     stats.evaluations += len(evaluation)
     costs = []
     lam = 0.0
@@ -141,7 +148,7 @@ class Phase2Result:
             failure set.
         normal_cost: its failure-free cost (satisfies the constraints).
         failure_evaluation: full per-scenario evaluation of the best
-            setting over the search's failure set.
+            setting over the search's scenario set.
         constraints: the constraints the search enforced.
         stats: search counters.
     """
@@ -149,14 +156,14 @@ class Phase2Result:
     best_setting: WeightSetting
     best_kfail: CostPair
     normal_cost: CostPair
-    failure_evaluation: FailureEvaluation
+    failure_evaluation: ScenarioCosts
     constraints: RobustConstraints
     stats: SearchStats
 
 
 def run_phase2(
     evaluator: DtrEvaluator,
-    failures: FailureSet,
+    failures: "ScenarioSet | FailureSet",
     starts: tuple[RecordedSetting, ...],
     constraints: RobustConstraints,
     rng: np.random.Generator,
@@ -165,8 +172,10 @@ def run_phase2(
 
     Args:
         evaluator: the cost oracle.
-        failures: failure scenarios defining ``K_fail`` (all single link
-            failures for the full search, the critical subset otherwise).
+        failures: scenarios defining ``K_fail``: all single link
+            failures for the paper's full search, the critical subset
+            otherwise, or any composed ScenarioSet (SRLGs, regional
+            failures, traffic surges, cross products).
         starts: acceptable settings from Phase 1, best first; must be
             non-empty.
         constraints: the Eq. (5)-(6) constraints.
@@ -178,7 +187,7 @@ def run_phase2(
     if not starts:
         raise ValueError("phase 2 needs at least one starting setting")
     if len(failures) == 0:
-        raise ValueError("phase 2 needs at least one failure scenario")
+        raise ValueError("phase 2 needs at least one scenario")
 
     config: OptimizerConfig = evaluator.config
     wp = config.weights
@@ -266,7 +275,7 @@ def run_phase2(
             next_start += 1
 
     normal_cost = evaluator.evaluate_normal(best_setting).cost
-    failure_evaluation = evaluator.evaluate_failures(best_setting, failures)
+    failure_evaluation = evaluator.evaluate_scenarios(best_setting, failures)
     return Phase2Result(
         best_setting=best_setting,
         best_kfail=failure_evaluation.total_cost,
@@ -279,7 +288,7 @@ def run_phase2(
 
 def _diversified_start(
     evaluator: DtrEvaluator,
-    failures: FailureSet,
+    failures: "ScenarioSet | FailureSet",
     starts: tuple[RecordedSetting, ...],
     constraints: RobustConstraints,
     rng: np.random.Generator,

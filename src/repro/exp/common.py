@@ -22,6 +22,7 @@ from repro.core.parallel import make_evaluator
 from repro.exp.presets import Preset, get_preset
 from repro.routing.failures import FailureModel
 from repro.routing.network import Network
+from repro.scenarios.scenario import ScenarioSet
 from repro.topology import (
     isp_topology,
     near_topology,
@@ -130,11 +131,22 @@ def run_arms(
     seed: int,
     critical_fraction: float | None = None,
     full_search: bool = False,
+    scenarios: "ScenarioSet | None" = None,
 ) -> RobustRoutingResult:
     """Run the two-phase optimizer on an instance (robust + regular arms).
 
     The optimizer's worker pool (if ``config.execution`` requests one) is
     torn down before returning so repeated arms don't accumulate pools.
+
+    Args:
+        instance: the problem instance.
+        config: optimizer configuration.
+        seed: search seed.
+        critical_fraction: override the configured ``|Ec| / |E|``.
+        full_search: optimize over all single failures (no restriction).
+        scenarios: optimize robustness against this explicit
+            :class:`~repro.scenarios.ScenarioSet` instead of the paper's
+            single-link enumeration.
     """
     rng = instance_rng(seed, _SEARCH_STREAM)
     optimizer = RobustDtrOptimizer(
@@ -143,6 +155,7 @@ def run_arms(
         config,
         failure_model=FailureModel.LINK,
         rng=rng,
+        scenarios=scenarios,
     )
     try:
         return optimizer.run(

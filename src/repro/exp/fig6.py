@@ -28,7 +28,7 @@ from repro.exp.common import (
     run_arms,
 )
 from repro.exp.presets import Preset, get_preset
-from repro.routing.failures import FailureSet
+from repro.scenarios import ScenarioSet
 from repro.traffic.uncertainty import (
     HotspotMode,
     HotspotSpec,
@@ -41,7 +41,7 @@ EPSILON = 0.2
 
 
 def _top_failures(
-    evaluator, setting: WeightSetting, failures: FailureSet, fraction=0.1
+    evaluator, setting: WeightSetting, failures: ScenarioSet, fraction=0.1
 ) -> list:
     """The worst ``fraction`` of failure scenarios for a setting."""
     evaluation = evaluator.evaluate_failures(setting, failures)

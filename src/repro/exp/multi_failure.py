@@ -5,6 +5,12 @@ regular routings under "other types of failure patterns, e.g., multiple
 link failures" — robustness to single failures is not bought with
 fragility elsewhere.  This experiment evaluates (no re-optimization) the
 robust and regular routings across a sample of dual-link failures.
+
+The dual-link sample is the ``k = 2`` case of the scenario subsystem's
+:func:`repro.scenarios.k_link_failures` generator, which reproduces the
+old ``dual_link_failures`` enumeration (combination order and sampling
+draws included) bit-identically; ``repro-exp scenarios --scenarios
+multi3`` extends the same sweep to higher simultaneity.
 """
 
 from __future__ import annotations
@@ -20,7 +26,7 @@ from repro.exp.common import (
     run_arms,
 )
 from repro.exp.presets import Preset, get_preset
-from repro.routing.failures import dual_link_failures
+from repro.scenarios import k_link_failures
 
 
 def run(
@@ -35,13 +41,14 @@ def run(
     outcome = run_arms(instance, preset.config, seed=seed)
     evaluator = evaluator_for(instance, preset.config)
 
-    failures = dual_link_failures(
+    failures = k_link_failures(
         instance.network,
+        k=2,
         max_scenarios=max_scenarios,
         rng=instance_rng(instance.seed, 60),
     )
-    rob = evaluator.evaluate_failures(outcome.robust_setting, failures)
-    reg = evaluator.evaluate_failures(outcome.regular_setting, failures)
+    rob = evaluator.evaluate_scenarios(outcome.robust_setting, failures)
+    reg = evaluator.evaluate_scenarios(outcome.regular_setting, failures)
 
     result = ExperimentResult(
         experiment_id="multi_failure",

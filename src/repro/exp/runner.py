@@ -5,11 +5,14 @@ Usage::
     repro-exp --list
     repro-exp table2 --preset quick --seed 0
     repro-exp table2 --preset quick --jobs 4
+    repro-exp scenarios --scenarios srlg,multi2,linkxsurge
     repro-exp all --preset default
 
 Each experiment prints the table rows and figure series the corresponding
-paper artifact reports.  ``--jobs`` fans failure sweeps out across worker
-processes (0 = one per CPU); results are bit-identical to serial runs.
+paper artifact reports.  ``--jobs`` fans scenario sweeps out across
+worker processes (0 = one per CPU); results are bit-identical to serial
+runs.  ``--scenarios`` selects the composed scenario families of the
+``scenarios`` experiment (see :mod:`repro.scenarios.generators`).
 """
 
 from __future__ import annotations
@@ -46,6 +49,7 @@ EXPERIMENTS: tuple[str, ...] = (
     "resize",
     "diversity",
     "multi_failure",
+    "scenarios",
     "ablation",
 )
 
@@ -69,6 +73,7 @@ def run_experiment(
     seed: int = 0,
     jobs: int | None = None,
     backend: str | None = None,
+    scenarios: str | None = None,
 ) -> ExperimentResult:
     """Run one experiment and return its result.
 
@@ -81,6 +86,9 @@ def run_experiment(
         backend: routing kernel backend (``auto``/``python``/``vector``);
             None keeps the preset's setting.  Execution-only: results
             are identical whichever backend runs.
+        scenarios: scenario-family spec for the ``scenarios``
+            experiment (e.g. ``"srlg,multi2,linkxsurge"``); None keeps
+            its default.  Rejected for other experiments.
     """
     resolved = get_preset(preset)
     overrides: dict[str, object] = {}
@@ -95,7 +103,16 @@ def run_experiment(
             )
         )
         resolved = dataclasses.replace(resolved, config=config)
-    return load_experiment(experiment_id)(preset=resolved, seed=seed)
+    kwargs: dict[str, object] = {}
+    if scenarios is not None:
+        if experiment_id != "scenarios":
+            raise ValueError(
+                "--scenarios only applies to the 'scenarios' experiment"
+            )
+        kwargs["scenarios"] = scenarios
+    return load_experiment(experiment_id)(
+        preset=resolved, seed=seed, **kwargs
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -135,12 +152,26 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--scenarios",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "scenario families for the 'scenarios' experiment: a "
+            "comma-separated list of "
+            "link|arc|node|srlg|multi<k>|regional|surge|hotspot|rescale, "
+            "with AxB for failure-x-traffic cross products "
+            "(e.g. srlg,multi2,linkxsurge; default: srlg,surge)"
+        ),
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list experiment ids"
     )
     args = parser.parse_args(argv)
 
     if args.jobs is not None and args.jobs < 0:
         parser.error("--jobs must be >= 0 (0 = one worker per CPU)")
+    if args.scenarios is not None and args.experiment != "scenarios":
+        parser.error("--scenarios only applies to the 'scenarios' experiment")
 
     if args.list or not args.experiment:
         print("available experiments:")
@@ -159,6 +190,7 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
             jobs=args.jobs,
             backend=args.backend,
+            scenarios=args.scenarios,
         )
         elapsed = time.perf_counter() - start
         print(result.render())

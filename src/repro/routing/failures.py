@@ -1,10 +1,22 @@
-"""Failure scenarios: which arcs disappear and which traffic is removed.
+"""Topology-failure primitives: which arcs disappear, which traffic goes.
 
 The paper optimizes against *all single link failures* (Section III) and
 additionally evaluates *single node failures* (Section V-F), where a node
 failure "triggers the failure of all its links as well as the removal of
 all the traffic it originates".  We also remove traffic destined to the
-failed node, since it is undeliverable (policy documented in DESIGN.md).
+failed node, since it is undeliverable (policy documented in
+docs/DESIGN.md).
+
+This module is the *primitive* layer — and the compatibility shim — of
+the unified scenario subsystem (:mod:`repro.scenarios`): a
+:class:`FailureScenario` is the topology half of a composed
+:class:`~repro.scenarios.Scenario`, and every enumeration here is
+reproduced bit-identically through
+:meth:`repro.scenarios.ScenarioSet.from_failures` (pinned by tests).
+New scenario families — SRLGs, k-link, regional, node, traffic surges,
+cross products — live in :mod:`repro.scenarios.generators`; prefer
+building :class:`~repro.scenarios.ScenarioSet` collections there for
+anything beyond the paper's single-failure presets.
 """
 
 from __future__ import annotations

@@ -1,12 +1,21 @@
 """Incremental delta-rerouting: dynamic SPF + per-destination load deltas.
 
 The local searches of Phases 1 and 2 evaluate candidates that differ from
-the incumbent by exactly **one arc's weight**, and failure sweeps evaluate
-scenarios that kill a handful of arcs.  Routing such a candidate from
-scratch recomputes every destination's distance column, DAG mask and load
-propagation even though a single-arc delta can only touch the
-destinations whose shortest paths the arc participates in (or could start
-participating in).  :class:`IncrementalRouter` exploits that:
+the incumbent by exactly **one arc's weight**, and scenario sweeps
+evaluate failures that kill anything from a single link to a whole SRLG
+or region — :meth:`IncrementalRouter.route_scenario` answers *multi-arc*
+scenarios exactly (the affected-destination test and the dynamic-SPF cone
+repair are per-scenario, not per-arc), so the composed scenario families
+of :mod:`repro.scenarios` ride the same fast path as single-link sweeps.
+Traffic variants never share a router: a router is bound to one demand
+matrix (checked via :meth:`IncrementalRouter.routes_demands`), which
+keeps the propagation-memo keys traffic-variant-aware by construction.
+
+Routing a candidate or scenario from scratch recomputes every
+destination's distance column, DAG mask and load propagation even though
+a small delta can only touch the destinations whose shortest paths the
+changed arcs participate in (or could start participating in).
+:class:`IncrementalRouter` exploits that:
 
 * it holds the routing of one traffic class **decomposed per
   destination** — distance columns, DAG-mask rows, per-destination load
@@ -247,6 +256,21 @@ class IncrementalRouter:
     def weight_of(self, arc: int) -> float:
         """Current weight of one arc."""
         return float(self._weights[arc])
+
+    def routes_demands(self, demands: np.ndarray) -> bool:
+        """Whether this router is bound to exactly these demands.
+
+        A router's distance columns, contributions and propagation-memo
+        entries are all relative to the demand matrix it was built with;
+        traffic variants must therefore use a *separate* router (the
+        evaluator keys sibling oracles by variant digest).  This check
+        lets callers detect a mismatched router instead of silently
+        reusing stale loads — identity first, value equality as the
+        fallback.
+        """
+        return demands is self._demands or bool(
+            np.array_equal(demands, self._demands)
+        )
 
     # ------------------------------------------------------------------
     # building and updating the base (normal-scenario) state

@@ -1,0 +1,69 @@
+"""The unified scenario subsystem: failures × traffic variants.
+
+One :class:`Scenario` composes a topology perturbation (failed arcs,
+removed nodes — the legacy
+:class:`~repro.routing.failures.FailureScenario`) with an optional
+:class:`TrafficVariant` (gravity rescale, Gaussian fluctuation, hot-spot
+surge).  A :class:`ScenarioSet` is the ordered collection every
+evaluation layer speaks — see
+:meth:`repro.core.evaluation.DtrEvaluator.evaluate_scenarios` — with
+seeded generators for SRLGs, k-link failures, regional failures, node
+failures, traffic surges and failure×surge cross products in
+:mod:`repro.scenarios.generators`.
+"""
+
+from repro.scenarios.generators import (
+    DEFAULT_MAX_SCENARIOS,
+    DEFAULT_SURGE_COUNT,
+    FAMILIES,
+    build_scenarios,
+    cross,
+    gaussian_surges,
+    gravity_rescales,
+    hotspot_surges,
+    k_link_failures,
+    legacy_failures,
+    node_failures,
+    regional_failures,
+    scenario_family,
+    srlg_failures,
+)
+from repro.scenarios.scenario import (
+    NORMAL_SCENARIO,
+    Scenario,
+    ScenarioSet,
+    as_scenario,
+    as_scenario_set,
+)
+from repro.scenarios.variants import (
+    GaussianSurge,
+    GravityRescale,
+    HotspotSurge,
+    TrafficVariant,
+)
+
+__all__ = [
+    "DEFAULT_MAX_SCENARIOS",
+    "DEFAULT_SURGE_COUNT",
+    "FAMILIES",
+    "GaussianSurge",
+    "GravityRescale",
+    "HotspotSurge",
+    "NORMAL_SCENARIO",
+    "Scenario",
+    "ScenarioSet",
+    "TrafficVariant",
+    "as_scenario",
+    "as_scenario_set",
+    "build_scenarios",
+    "cross",
+    "gaussian_surges",
+    "gravity_rescales",
+    "hotspot_surges",
+    "k_link_failures",
+    "legacy_failures",
+    "node_failures",
+    "regional_failures",
+    "scenario_family",
+    "srlg_failures",
+]

@@ -1,0 +1,177 @@
+"""Traffic variants: the traffic half of a composed scenario.
+
+A :class:`TrafficVariant` is a *deterministic, self-contained* recipe for
+perturbing a two-class traffic instance: it carries every parameter —
+including the random seed — needed to reproduce the perturbed matrices
+bit-for-bit in any process.  Variants wrap the Section V-F uncertainty
+primitives of :mod:`repro.traffic.uncertainty` (Gaussian fluctuation and
+hot-spot surges) plus a plain gravity rescale, and compose with topology
+failures inside :class:`repro.scenarios.Scenario`.
+
+Determinism contract: ``variant.apply(traffic)`` builds its own seeded
+generator from the variant's fields, so two processes holding equal
+variants produce identical traffic.  ``canonical()`` / ``digest`` encode
+those fields into a stable identity usable as a cache or memo key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.traffic.gravity import DtrTraffic
+from repro.traffic.uncertainty import (
+    HotspotMode,
+    HotspotSpec,
+    fluctuate_traffic,
+    hotspot,
+)
+
+#: Seed streams separating variant randomness from instance randomness
+#: (:mod:`repro.exp.common` uses streams 1-3 and 40/41/60/70).
+_GAUSSIAN_STREAM = 101
+_HOTSPOT_STREAM = 102
+
+
+def _variant_rng(seed: int, stream: int) -> np.random.Generator:
+    """The deterministic generator of one variant draw."""
+    return np.random.default_rng(np.random.SeedSequence((seed, stream)))
+
+
+@dataclass(frozen=True)
+class TrafficVariant:
+    """Base class of all traffic variants (see the module contract)."""
+
+    #: Family tag used by scenario kinds (e.g. ``"linkxsurge"``);
+    #: subclasses override.
+    family = "variant"
+
+    @property
+    def label(self) -> str:
+        """Short human-readable identifier, stable across processes."""
+        raise NotImplementedError
+
+    def canonical(self) -> str:
+        """Canonical string encoding every parameter (identity)."""
+        raise NotImplementedError
+
+    @property
+    def digest(self) -> str:
+        """Stable 16-hex-digit digest of :meth:`canonical`."""
+        return hashlib.sha1(self.canonical().encode()).hexdigest()[:16]
+
+    def apply(self, traffic: DtrTraffic) -> DtrTraffic:
+        """The perturbed traffic (deterministic; never mutates input)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class GravityRescale(TrafficVariant):
+    """Uniform rescale of both classes (demand growth / drain).
+
+    Attributes:
+        factor: multiplicative factor applied to every demand.
+    """
+
+    factor: float = 1.25
+
+    family = "rescale"
+
+    def __post_init__(self) -> None:
+        if self.factor <= 0:
+            raise ValueError("factor must be positive")
+
+    @property
+    def label(self) -> str:
+        return f"rescale{self.factor:g}"
+
+    def canonical(self) -> str:
+        return f"rescale|factor={self.factor!r}"
+
+    def apply(self, traffic: DtrTraffic) -> DtrTraffic:
+        return traffic.scaled(self.factor)
+
+
+@dataclass(frozen=True)
+class GaussianSurge(TrafficVariant):
+    """Seeded Gaussian fluctuation of every demand (Section V-F).
+
+    Attributes:
+        eps: relative standard deviation (paper: 0.2).
+        seed: draw seed; different seeds are independent fluctuation
+            instances of the same magnitude.
+    """
+
+    eps: float = 0.2
+    seed: int = 0
+
+    family = "surge"
+
+    def __post_init__(self) -> None:
+        if self.eps < 0:
+            raise ValueError("eps must be non-negative")
+
+    @property
+    def label(self) -> str:
+        return f"gauss{self.eps:g}#{self.seed}"
+
+    def canonical(self) -> str:
+        return f"gauss|eps={self.eps!r}|seed={self.seed}"
+
+    def apply(self, traffic: DtrTraffic) -> DtrTraffic:
+        rng = _variant_rng(self.seed, _GAUSSIAN_STREAM)
+        return fluctuate_traffic(traffic, self.eps, rng)
+
+
+@dataclass(frozen=True)
+class HotspotSurge(TrafficVariant):
+    """Seeded hot-spot incident (Section V-F): server traffic surges.
+
+    Attributes:
+        seed: draw seed (selects servers, clients and surge factors).
+        mode: ``"download"`` or ``"upload"``.
+        server_fraction: share of nodes acting as servers (paper: 0.1).
+        client_fraction: share of nodes acting as clients (paper: 0.5).
+        factor_low: lower bound of the surge factor (paper: 2).
+        factor_high: upper bound of the surge factor (paper: 6).
+    """
+
+    seed: int = 0
+    mode: str = "download"
+    server_fraction: float = 0.1
+    client_fraction: float = 0.5
+    factor_low: float = 2.0
+    factor_high: float = 6.0
+
+    family = "hotspot"
+
+    def __post_init__(self) -> None:
+        HotspotMode(self.mode)  # validates
+        self.spec()  # validates the fractions and factors
+
+    def spec(self) -> HotspotSpec:
+        """The equivalent :class:`~repro.traffic.uncertainty.HotspotSpec`."""
+        return HotspotSpec(
+            server_fraction=self.server_fraction,
+            client_fraction=self.client_fraction,
+            factor_low=self.factor_low,
+            factor_high=self.factor_high,
+            mode=HotspotMode(self.mode),
+        )
+
+    @property
+    def label(self) -> str:
+        return f"hotspot:{self.mode}#{self.seed}"
+
+    def canonical(self) -> str:
+        return (
+            f"hotspot|seed={self.seed}|mode={self.mode}"
+            f"|sf={self.server_fraction!r}|cf={self.client_fraction!r}"
+            f"|lo={self.factor_low!r}|hi={self.factor_high!r}"
+        )
+
+    def apply(self, traffic: DtrTraffic) -> DtrTraffic:
+        rng = _variant_rng(self.seed, _HOTSPOT_STREAM)
+        return hotspot(traffic, rng, self.spec())

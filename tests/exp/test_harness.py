@@ -125,6 +125,7 @@ class TestRunner:
             "resize",
             "diversity",
             "multi_failure",
+            "scenarios",
             "ablation",
         }
         assert set(EXPERIMENTS) == expected
