@@ -25,11 +25,11 @@ assertions flaky.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 
 import numpy as np
+from bench_schema import bench_payload, write_payload
 
 from repro.config import (
     ExecutionParams,
@@ -200,32 +200,38 @@ def main(argv: list[str] | None = None) -> int:
           f"evaluations/s ({sweep_on / sweep_off:.2f}x)")
     print(f"parity: phase2={phase2_parity} sweep={sweep_parity}")
 
-    payload = {
-        "instance": {
+    payload = bench_payload(
+        "incremental",
+        (
+            "seeded Phase-2 inner loop and full failure sweeps with "
+            "incremental_routing on vs off, with bitwise parity gates"
+        ),
+        rows=[
+            {
+                "workload": "phase2",
+                "evaluations": evals_on,
+                "scratch_evals_per_sec": round(rate_off, 1),
+                "incremental_evals_per_sec": round(rate_on, 1),
+                "speedup": round(speedup, 2),
+                "parity": phase2_parity,
+            },
+            {
+                "workload": "sweep",
+                "scratch_evals_per_sec": round(sweep_off, 1),
+                "incremental_evals_per_sec": round(sweep_on, 1),
+                "speedup": round(sweep_on / sweep_off, 2),
+                "parity": sweep_parity,
+            },
+        ],
+        context={
             "nodes": network.num_nodes,
             "arcs": network.num_arcs,
             "scenarios": len(failures),
             "degree": args.degree,
             "seed": args.seed,
         },
-        "phase2": {
-            "evaluations": evals_on,
-            "scratch_evals_per_sec": round(rate_off, 1),
-            "incremental_evals_per_sec": round(rate_on, 1),
-            "speedup": round(speedup, 2),
-            "parity": phase2_parity,
-        },
-        "sweep": {
-            "scratch_evals_per_sec": round(sweep_off, 1),
-            "incremental_evals_per_sec": round(sweep_on, 1),
-            "speedup": round(sweep_on / sweep_off, 2),
-            "parity": sweep_parity,
-        },
-    }
-    with open(args.out, "w") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
-    print(f"wrote {args.out}")
+    )
+    write_payload(args.out, payload)
 
     if not (phase2_parity and sweep_parity):
         print("FAIL: incremental evaluation diverged from scratch",

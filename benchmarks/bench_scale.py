@@ -37,11 +37,11 @@ are opt-in because shared CI runners make wall-clock assertions flaky.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 
 import numpy as np
+from bench_schema import bench_payload, write_payload
 
 from repro.config import ExecutionParams, OptimizerConfig
 from repro.core.evaluation import DtrEvaluator
@@ -239,24 +239,24 @@ def main(argv: list[str] | None = None) -> int:
             )
         )
 
-    payload = {
-        "mode": (
+    payload = bench_payload(
+        "scale",
+        (
             "from-scratch failure sweeps (incremental_routing=False, "
             "routing_cache=False); delta-rerouting gains are tracked by "
             "BENCH_incremental.json"
         ),
-        "crossover_work": {
-            "route": VECTOR_CROSSOVER_WORK,
-            "propagate": VECTOR_PROPAGATION_CROSSOVER_WORK,
+        rows=rows,
+        context={
+            "crossover_work": {
+                "route": VECTOR_CROSSOVER_WORK,
+                "propagate": VECTOR_PROPAGATION_CROSSOVER_WORK,
+            },
+            "attachments": PL_ATTACHMENTS,
+            "seed": args.seed,
         },
-        "attachments": PL_ATTACHMENTS,
-        "seed": args.seed,
-        "sizes": rows,
-    }
-    with open(args.out, "w") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
-    print(f"wrote {args.out}")
+    )
+    write_payload(args.out, payload)
 
     failed = False
     if not all(row["parity"] for row in rows):

@@ -1,0 +1,50 @@
+"""Shared result schema of the ``BENCH_*.json`` trajectory records.
+
+Every benchmark that tracks the performance trajectory PR-over-PR
+(``bench_incremental.py``, ``bench_scale.py``, ``bench_sweep.py``)
+writes its record through :func:`bench_payload` /
+:func:`write_payload`, so the JSON artifacts stay structurally
+comparable across PRs and across benchmarks:
+
+* ``schema_version`` — bumped only on breaking layout changes;
+* ``benchmark`` — the producing script's stem (``sweep``, ``scale``,
+  ``incremental``);
+* ``mode`` — one sentence describing what the numbers measure;
+* ``context`` — benchmark-specific calibration constants and inputs
+  (seeds, crossovers, sizes) worth pinning next to the numbers;
+* ``rows`` — the measurements, one dict per benchmarked configuration.
+
+The helper is deliberately dependency-free (stdlib json only) so the
+benchmarks stay runnable without the package installed.
+"""
+
+from __future__ import annotations
+
+import json
+
+#: Version of the shared BENCH_*.json layout.
+SCHEMA_VERSION = 1
+
+
+def bench_payload(
+    benchmark: str,
+    mode: str,
+    rows: "list[dict]",
+    context: "dict | None" = None,
+) -> dict:
+    """Assemble one benchmark record in the shared schema."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": benchmark,
+        "mode": mode,
+        "context": dict(context or {}),
+        "rows": rows,
+    }
+
+
+def write_payload(path: str, payload: dict) -> None:
+    """Write a record to ``path`` (pretty-printed, trailing newline)."""
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {path}")

@@ -1,0 +1,316 @@
+"""Scenario-axis batch sweep benchmark: serial vs parallel vs shm-batched.
+
+Runs the same single-link failure sweep on a Rocketfuel-class PLTopo
+instance through four evaluator configurations —
+
+* ``serial`` — the legacy per-scenario serial path
+  (``sweep_batching=off``),
+* ``serial-batched`` — the scenario-axis batch sweep engine
+  (``sweep_batching=on``),
+* ``parallel`` — the legacy :class:`ParallelDtrEvaluator` process path
+  (by-value task payloads, per-scenario workers),
+* ``parallel-shm`` — zero-copy shared-memory workers running the batch
+  engine (per-sweep publish, index tickets only)
+
+— and reports warm evaluations/sec for each, the shm speedup over the
+legacy process path, per-task payload bytes (the legacy path pickles
+the routings/traffic-bearing reuse evaluation into every task; the shm
+path publishes once and ships ~30-byte tickets), and a strict bitwise
+parity gate across every arm (exit 1 on divergence).  A composed
+failure-x-surge cross sweep rides along to track the cross-product
+batching gain.  Results land in ``BENCH_sweep.json`` (shared
+``bench_schema`` layout; CI uploads it as an artifact)::
+
+    python benchmarks/bench_sweep.py                      # full report
+    python benchmarks/bench_sweep.py --nodes 40 --rounds 1  # CI smoke
+    python benchmarks/bench_sweep.py --assert-shm-speedup 2.0
+
+The parity gate always applies; ``--assert-shm-speedup`` additionally
+fails the run when the shm-batched path lands below the bound over the
+legacy process path — meaningful on dedicated hardware, deliberately
+not the default because shared CI runners make wall-clock assertions
+flaky.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import pickle
+import sys
+import time
+
+import numpy as np
+from bench_schema import bench_payload, write_payload
+
+from repro.config import ExecutionParams, OptimizerConfig
+from repro.core.evaluation import DtrEvaluator
+from repro.core.parallel import ParallelDtrEvaluator
+from repro.core.weights import WeightSetting
+from repro.routing.backend import SWEEP_BATCH_MIN_SCENARIOS
+from repro.routing.failures import single_link_failures
+from repro.scenarios.generators import build_scenarios
+from repro.topology import powerlaw_topology, scale_to_diameter
+from repro.traffic import dtr_traffic, scale_to_utilization
+
+#: BA attachments per arriving node (the paper's PLTopo density).
+PL_ATTACHMENTS = 3
+
+
+def build_instance(num_nodes: int, seed: int):
+    """A seeded, delay- and utilization-scaled PLTopo instance."""
+    rng = np.random.default_rng(seed)
+    network = scale_to_diameter(
+        powerlaw_topology(num_nodes, PL_ATTACHMENTS, rng), 0.025
+    )
+    traffic = scale_to_utilization(
+        network, dtr_traffic(network.num_nodes, rng, 1.0), 0.43, "mean"
+    )
+    return network, traffic
+
+
+def config_for(mode: str, jobs: int = 1) -> OptimizerConfig:
+    return OptimizerConfig(
+        execution=ExecutionParams(n_jobs=jobs, sweep_batching=mode)
+    )
+
+
+def sweeps_identical(a, b) -> bool:
+    """Bitwise cost/load/delay equality of two sweeps."""
+    if len(a) != len(b):
+        return False
+    return all(
+        x.cost.lam == y.cost.lam
+        and x.cost.phi == y.cost.phi
+        and x.sla.violations == y.sla.violations
+        and np.array_equal(x.loads_delay, y.loads_delay)
+        and np.array_equal(x.loads_tput, y.loads_tput)
+        and np.array_equal(x.pair_delays, y.pair_delays, equal_nan=True)
+        and x.kind == y.kind
+        for x, y in zip(a.evaluations, b.evaluations)
+    )
+
+
+def arm_rate(evaluator, setting, scenarios, rounds: int, warmups: int):
+    """Warm best-of-``rounds`` evaluations/sec plus the last sweep.
+
+    ``warmups`` untimed sweeps bring pools, routing caches, routers and
+    memos to steady state first — the regime of Phase-2 ordered sweeps,
+    which is what this benchmark tracks (same methodology as
+    ``bench_parallel.py`` / ``bench_incremental.py``).  Several warmups
+    matter for the parallel arms: chunk-to-worker assignment is not
+    deterministic, so every worker needs a few sweeps to have seen
+    every chunk.
+    """
+    normal = evaluator.evaluate_normal(setting)
+    sweep = None
+    for _ in range(warmups):
+        sweep = evaluator.evaluate_scenarios(
+            setting, scenarios, reuse=normal
+        )
+    best = float("inf")
+    for _ in range(rounds):
+        gc.collect()
+        start = time.perf_counter()
+        sweep = evaluator.evaluate_scenarios(
+            setting, scenarios, reuse=normal
+        )
+        best = min(best, time.perf_counter() - start)
+    return len(scenarios) / best, sweep
+
+
+def legacy_task_bytes(setting, scenarios, evaluator) -> int:
+    """Bytes the legacy process path pickles into ONE task.
+
+    The by-value payload: both weight vectors, the scenario chunk, and
+    the reuse evaluation with its routings attached — re-shipped with
+    every task of every sweep.
+    """
+    normal = evaluator.evaluate_normal(setting)
+    chunk = tuple(scenarios[: max(1, len(scenarios) // 8)])
+    return len(
+        pickle.dumps((setting.delay, setting.tput, chunk, normal))
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--nodes",
+        type=int,
+        default=100,
+        help="PLTopo node count (default 100)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=2, help="parallel workers (default 2)"
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=3, help="timing rounds (best-of)"
+    )
+    parser.add_argument(
+        "--warmups",
+        type=int,
+        default=5,
+        help="untimed warmup sweeps per arm (default 5)",
+    )
+    parser.add_argument(
+        "--cross",
+        default="srlgxsurge",
+        help=(
+            "composed cross-sweep spec for the serial cross-product rows "
+            "(default srlgxsurge; empty string skips them)"
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--out",
+        default="BENCH_sweep.json",
+        help="result JSON path (default BENCH_sweep.json)",
+    )
+    parser.add_argument(
+        "--assert-shm-speedup",
+        type=float,
+        default=None,
+        help=(
+            "exit 1 unless parallel-shm reaches this factor over the "
+            "legacy parallel process path"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    network, traffic = build_instance(args.nodes, args.seed)
+    failures = list(single_link_failures(network))
+    setting = WeightSetting.random(
+        network.num_arcs, OptimizerConfig().weights,
+        np.random.default_rng(args.seed + 1),
+    )
+    print(
+        f"instance: {network.num_nodes} nodes, {network.num_arcs} arcs, "
+        f"{len(failures)} failure scenarios; n_jobs={args.jobs}"
+    )
+
+    rows = []
+    sweeps = {}
+    rates = {}
+
+    for arm, mode, jobs in (
+        ("serial", "off", 1),
+        ("serial-batched", "on", 1),
+    ):
+        evaluator = DtrEvaluator(network, traffic, config_for(mode))
+        rates[arm], sweeps[arm] = arm_rate(
+            evaluator, setting, failures, args.rounds, args.warmups
+        )
+        del evaluator
+    for arm, mode in (("parallel", "off"), ("parallel-shm", "on")):
+        with ParallelDtrEvaluator(
+            network, traffic, config_for(mode, args.jobs)
+        ) as evaluator:
+            rates[arm], sweeps[arm] = arm_rate(
+                evaluator, setting, failures, args.rounds, args.warmups
+            )
+
+    parity = all(
+        sweeps_identical(sweeps["serial"], sweeps[arm])
+        for arm in ("serial-batched", "parallel", "parallel-shm")
+    )
+    task_bytes = legacy_task_bytes(
+        setting, failures, DtrEvaluator(network, traffic, config_for("off"))
+    )
+    ticket_bytes = len(pickle.dumps(("psm_0123abcdef", 0, len(failures))))
+    shm_speedup = rates["parallel-shm"] / rates["parallel"]
+    for arm in ("serial", "serial-batched", "parallel", "parallel-shm"):
+        row = {
+            "workload": "link-sweep",
+            "arm": arm,
+            "evals_per_sec": round(rates[arm], 2),
+            "per_task_payload_bytes": (
+                ticket_bytes if arm == "parallel-shm" else
+                task_bytes if arm == "parallel" else 0
+            ),
+        }
+        rows.append(row)
+        print(
+            f"  {arm:>15}: {row['evals_per_sec']:>9.2f} evals/s  "
+            f"task payload {row['per_task_payload_bytes']:>7d} B"
+        )
+    print(
+        f"  shm-batched speedup over legacy process path: "
+        f"{shm_speedup:.2f}x; parity={parity}"
+    )
+
+    cross_parity = True
+    if args.cross:
+        scenarios = build_scenarios(args.cross, network, args.seed)
+        cross_rates = {}
+        cross_sweeps = {}
+        for arm, mode in (("serial", "off"), ("serial-batched", "on")):
+            evaluator = DtrEvaluator(network, traffic, config_for(mode))
+            cross_rates[arm], cross_sweeps[arm] = arm_rate(
+                evaluator, setting, scenarios, args.rounds, args.warmups
+            )
+            evaluator.close()
+        cross_parity = sweeps_identical(
+            cross_sweeps["serial"], cross_sweeps["serial-batched"]
+        )
+        for arm in ("serial", "serial-batched"):
+            rows.append(
+                {
+                    "workload": f"cross:{args.cross}",
+                    "arm": arm,
+                    "scenarios": len(scenarios),
+                    "evals_per_sec": round(cross_rates[arm], 2),
+                }
+            )
+        print(
+            f"  cross {args.cross} ({len(scenarios)} scenarios): serial "
+            f"{cross_rates['serial']:.2f} -> batched "
+            f"{cross_rates['serial-batched']:.2f} evals/s "
+            f"({cross_rates['serial-batched'] / cross_rates['serial']:.2f}x)"
+            f"; parity={cross_parity}"
+        )
+
+    payload = bench_payload(
+        "sweep",
+        (
+            "warm single-link failure sweeps through the four evaluator "
+            "configurations (legacy serial, scenario-axis batched, "
+            "legacy process-parallel, shared-memory batched parallel), "
+            "plus a composed cross sweep; bitwise parity gated"
+        ),
+        rows=rows,
+        context={
+            "nodes": network.num_nodes,
+            "arcs": network.num_arcs,
+            "scenarios": len(failures),
+            "jobs": args.jobs,
+            "rounds": args.rounds,
+            "warmups": args.warmups,
+            "seed": args.seed,
+            "attachments": PL_ATTACHMENTS,
+            "sweep_batch_min_scenarios": SWEEP_BATCH_MIN_SCENARIOS,
+            "shm_speedup_vs_process": round(shm_speedup, 2),
+            "parity": parity and cross_parity,
+        },
+    )
+    write_payload(args.out, payload)
+
+    failed = False
+    if not (parity and cross_parity):
+        print("FAIL: batched sweep diverged from serial", file=sys.stderr)
+        failed = True
+    if (
+        args.assert_shm_speedup is not None
+        and shm_speedup < args.assert_shm_speedup
+    ):
+        print(
+            f"FAIL: shm speedup {shm_speedup:.2f}x < "
+            f"{args.assert_shm_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

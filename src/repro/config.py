@@ -20,7 +20,7 @@ import dataclasses
 import os
 from dataclasses import dataclass
 
-from repro.routing.backend import validate_backend
+from repro.routing.backend import validate_backend, validate_sweep_batching
 
 
 @dataclass(frozen=True)
@@ -244,6 +244,17 @@ class ExecutionParams:
             ``"auto"`` (default: per-call choice from node/arc/
             destination counts; see ``repro.routing.backend``).
             Backends are bit-identical on integer-weight instances.
+        sweep_batching: run scenario sweeps through the batch sweep
+            engine (:mod:`repro.routing.sweep`): scenarios are grouped
+            by structural footprint and their outstanding kernel work
+            runs once per group instead of once per scenario, and the
+            parallel evaluator publishes sweep state through shared
+            memory instead of pickling it per task.  ``"auto"``
+            (default) batches every sweep of at least two scenarios,
+            ``"on"`` forces batching, ``"off"`` restores the legacy
+            per-scenario path.  Requires ``incremental_routing``;
+            bit-identical to the per-scenario path on integer-weight
+            instances either way.
     """
 
     n_jobs: int = 1
@@ -253,6 +264,7 @@ class ExecutionParams:
     cache_size: int = 512
     incremental_routing: bool = True
     routing_backend: str = "auto"
+    sweep_batching: str = "auto"
 
     def __post_init__(self) -> None:
         if self.n_jobs < 0:
@@ -264,6 +276,22 @@ class ExecutionParams:
         if self.cache_size < 1:
             raise ValueError("cache_size must be >= 1")
         validate_backend(self.routing_backend)
+        validate_sweep_batching(self.sweep_batching)
+        if self.sweep_batching == "on" and not self.incremental_routing:
+            # The batch engine rides the incremental routers; a forced
+            # "on" without them would silently run the legacy path.
+            raise ValueError(
+                "sweep_batching='on' requires incremental_routing "
+                "(use 'auto' to batch only when it applies)"
+            )
+        if self.sweep_batching == "on" and self.routing_backend == "python":
+            # The engine's cross-scenario kernels are the vector stack;
+            # a forced python backend must keep its A/B isolation.
+            raise ValueError(
+                "sweep_batching='on' conflicts with "
+                "routing_backend='python' (the batch engine runs the "
+                "vector kernels; use 'auto' for either knob)"
+            )
 
     @property
     def resolved_jobs(self) -> int:

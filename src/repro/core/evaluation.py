@@ -56,10 +56,16 @@ from repro.core.lexicographic import CostPair
 from repro.core.perturbation import Move
 from repro.core.sla import SlaOutcome, sla_outcome
 from repro.core.weights import WeightSetting
+from repro.routing.backend import resolve_sweep_batching
 from repro.routing.engine import ClassRouting, PathDelayReuse, RoutingEngine
 from repro.routing.failures import NORMAL, FailureScenario, FailureSet
 from repro.routing.incremental import IncrementalRouter
 from repro.routing.network import Network
+from repro.routing.sweep import (
+    flush_delay_batch,
+    plan_sweep,
+    route_scenario_batch,
+)
 from repro.scenarios.scenario import Scenario, ScenarioSet
 from repro.scenarios.variants import TrafficVariant
 from repro.traffic.gravity import DtrTraffic
@@ -223,6 +229,7 @@ class DtrEvaluator:
         )
         self._num_evaluations = 0
         self._incremental = config.execution.incremental_routing
+        self._sweep_batching = config.execution.sweep_batching
         self._routers: dict[str, IncrementalRouter] = {}
         self._router_lock = threading.RLock()
         #: Sibling oracles bound to variant-perturbed traffic, keyed by
@@ -656,12 +663,373 @@ class DtrEvaluator:
                 traffic for the unchanged-routing shortcut (computed on
                 demand if omitted; traffic-variant scenarios maintain
                 their own per-variant reuse instead).
+
+        With ``config.execution.sweep_batching`` resolved on (the
+        default for multi-scenario sweeps, requires incremental
+        routing), the sweep runs through the scenario-axis batch engine
+        (:mod:`repro.routing.sweep`): scenarios are grouped by
+        structural footprint and the outstanding kernel work of a whole
+        group — load propagations, path-delay DPs — runs once per group
+        instead of once per scenario.  Results are bit-identical to the
+        per-scenario loop (pinned by
+        ``tests/core/test_sweep_evaluator.py``).
         """
+        items = list(scenarios)
         if reuse is None:
             reuse = self.evaluate_normal(setting)
+        if self._use_sweep_batching(len(items)):
+            return ScenarioCosts(
+                tuple(self._sweep_batched(setting, items, reuse))
+            )
         return ScenarioCosts(
-            tuple(self.evaluate(setting, s, reuse=reuse) for s in scenarios)
+            tuple(self.evaluate(setting, s, reuse=reuse) for s in items)
         )
+
+    # ------------------------------------------------------------------
+    # scenario-axis batch sweeps
+    # ------------------------------------------------------------------
+    def _use_sweep_batching(self, num_scenarios: int) -> bool:
+        """Whether this sweep runs the batch sweep engine.
+
+        The engine rides the incremental routers (so it requires
+        ``incremental_routing``) and its cross-scenario kernels are the
+        vector stack — a forced ``routing_backend="python"`` therefore
+        disables batching too, keeping that knob's A/B isolation (and
+        its float-weight caveat) intact.
+        """
+        if not self._incremental:
+            return False
+        if self._config.execution.routing_backend == "python":
+            return False
+        return resolve_sweep_batching(self._sweep_batching, num_scenarios)
+
+    def _sweep_batched(
+        self,
+        setting: WeightSetting,
+        items: "list[FailureScenario | Scenario]",
+        reuse: ScenarioEvaluation | None,
+    ) -> "list[ScenarioEvaluation]":
+        """Evaluate a sweep through the scenario-axis batch engine.
+
+        Scenarios are bucketed by :func:`repro.routing.sweep.plan_sweep`
+        — arc-failure groups run the batch core, variant groups batch
+        through their sibling oracle, the rest takes the exact legacy
+        per-scenario path — and results reassemble in input order, so
+        the returned list is bit-identical to the per-scenario loop.
+        """
+        if setting.num_arcs != self._network.num_arcs:
+            raise ValueError("weight setting does not match the network")
+        if reuse is not None and reuse.variant is not None:
+            # A variant evaluation cannot seed base-traffic reuse.
+            reuse = None
+        results: "list[ScenarioEvaluation | None]" = [None] * len(items)
+        plan = plan_sweep(items, self._network.num_nodes)
+        for idx in plan.legacy:
+            results[idx] = self.evaluate(setting, items[idx], reuse=reuse)
+        for _, idxs in plan.variant_groups:
+            self._evaluate_variant_group(setting, idxs, items, results)
+        for group in plan.batch_groups:
+            self._evaluate_failure_group(
+                setting, group, items, reuse, results
+            )
+        return results
+
+    def _evaluate_variant_group(
+        self,
+        setting: WeightSetting,
+        idxs: "tuple[int, ...]",
+        items: "list",
+        results: "list[ScenarioEvaluation | None]",
+    ) -> None:
+        """Evaluate all scenarios sharing one traffic variant, batched.
+
+        The batched counterpart of :meth:`_evaluate_variant`: one
+        sibling lookup and one per-variant NORMAL reuse serve the whole
+        group, and the group's failure halves sweep through the
+        sibling's *serial* batched path (never a nested worker pool).
+        Per scenario the sibling performs the same evaluation as the
+        per-scenario path, so results are bit-identical.
+        """
+        variant = items[idxs[0]].variant
+        assert variant is not None
+        self._num_evaluations += len(idxs)
+        with self._router_lock:
+            sibling = self._variant_evaluator(variant)
+        outcomes: dict[int, ScenarioEvaluation] = {}
+        fail_idx = [
+            idx for idx in idxs if not items[idx].failure.is_normal
+        ]
+        for idx in idxs:
+            if items[idx].failure.is_normal:
+                outcomes[idx] = sibling.evaluate(
+                    setting, items[idx].failure
+                )
+        if fail_idx:
+            v_reuse = self._variant_normal(sibling, variant, setting)
+            costs = DtrEvaluator.evaluate_scenarios(
+                sibling,
+                setting,
+                [items[idx].failure for idx in fail_idx],
+                reuse=v_reuse,
+            )
+            outcomes.update(zip(fail_idx, costs.evaluations))
+        for idx in idxs:
+            results[idx] = replace(
+                outcomes[idx],
+                variant=variant,
+                kind=items[idx].kind,
+                routing_delay=None,
+                routing_tput=None,
+            )
+
+    def _batch_route_lookup(
+        self,
+        class_id: str,
+        scenario: FailureScenario,
+        weights: np.ndarray,
+    ) -> ClassRouting | None:
+        """Routing-cache probe hook of the batch sweep path (none here)."""
+        del class_id, scenario, weights
+        return None
+
+    def _batch_route_store(
+        self,
+        class_id: str,
+        scenario: FailureScenario,
+        weights: np.ndarray,
+        routing: ClassRouting,
+    ) -> None:
+        """Routing-cache store hook of the batch sweep path (no-op here)."""
+        del class_id, scenario, weights, routing
+
+    def _evaluate_failure_group(
+        self,
+        setting: WeightSetting,
+        idxs: "tuple[int, ...]",
+        items: "list",
+        reuse: ScenarioEvaluation | None,
+        results: "list[ScenarioEvaluation | None]",
+    ) -> None:
+        """Evaluate one batch group of plain arc-failure scenarios.
+
+        Mirrors :meth:`evaluate` stage by stage — the failed-arc
+        shortcut, the routing-cache probe, incremental scenario routing,
+        arc delays, path-delay reuse, SLA and Fortz costs — but runs the
+        outstanding kernel work of the whole group through single
+        invocations: one :func:`~repro.routing.sweep.
+        route_scenario_batch` per class and one
+        :func:`~repro.routing.sweep.flush_delay_batch` for the delay
+        DPs.  Every stage replays the identical floats, so each
+        scenario's evaluation is bit-identical to the per-scenario path.
+        Exact duplicates (same failure, same kind) share one evaluation.
+        """
+        self._num_evaluations += len(idxs)
+        order: "list[tuple[FailureScenario, str | None]]" = []
+        slots: "dict[tuple, list[int]]" = {}
+        for idx in idxs:
+            item = items[idx]
+            if isinstance(item, Scenario):
+                key = (item.failure, item.kind)
+            else:
+                key = (item, None)
+            if key not in slots:
+                slots[key] = []
+                order.append(key)
+            slots[key].append(idx)
+
+        have_reuse = (
+            reuse is not None
+            and reuse.routing_delay is not None
+            and reuse.routing_tput is not None
+        )
+        used_d = reuse.routing_delay.used_arcs() if have_reuse else None
+        used_t = reuse.routing_tput.used_arcs() if have_reuse else None
+        base_d = (
+            reuse.routing_delay
+            if reuse is not None and reuse.scenario.is_normal
+            else None
+        )
+
+        # Stage 1: the failed-arc shortcut and the routing-cache probe,
+        # per unique failure; what neither answers goes to the routers.
+        shortcut: "dict[tuple, ScenarioEvaluation]" = {}
+        resolved: "dict[tuple, list]" = {}
+        route_d: "list[tuple]" = []
+        route_t: "list[tuple]" = []
+        for key in order:
+            failure, kind = key
+            routing_d: ClassRouting | None = None
+            routing_t: ClassRouting | None = None
+            reusable_d: "frozenset[int] | None" = None
+            if have_reuse:
+                failed = list(failure.failed_arcs)
+                if not used_d[failed].any():
+                    routing_d = reuse.routing_delay
+                    reusable_d = frozenset(
+                        int(t) for t in routing_d.destinations
+                    )
+                if not used_t[failed].any():
+                    routing_t = reuse.routing_tput
+                if routing_d is not None and routing_t is not None:
+                    # Neither class touched the failed arcs: identical
+                    # costs (the serial shortcut, verbatim).
+                    shortcut[key] = replace(
+                        reuse,
+                        scenario=failure,
+                        routing_delay=None,
+                        routing_tput=None,
+                        kind=kind,
+                    )
+                    continue
+            if routing_d is None:
+                routing_d = self._batch_route_lookup(
+                    "delay", failure, setting.delay
+                )
+                if routing_d is None:
+                    route_d.append(key)
+                else:
+                    # A hit reports no reusable set, and is re-stored —
+                    # an incremental (dominated-weights) hit installs
+                    # the exact key — exactly like the serial caching
+                    # path's get-then-put sequence.
+                    self._batch_route_store(
+                        "delay", failure, setting.delay, routing_d
+                    )
+            if routing_t is None:
+                routing_t = self._batch_route_lookup(
+                    "tput", failure, setting.tput
+                )
+                if routing_t is None:
+                    route_t.append(key)
+                else:
+                    self._batch_route_store(
+                        "tput", failure, setting.tput, routing_t
+                    )
+            resolved[key] = [routing_d, routing_t, reusable_d]
+
+        # Stage 2: batch-route the rest per class through the
+        # incremental routers (scenario-axis batched propagation).  The
+        # delay class's load-batch schedules are kept: the delay DPs of
+        # the same columns replay them below.
+        handoffs: "list" = []
+        if route_d or route_t:
+            with self._router_lock:
+                if route_d:
+                    router = self._router_for(
+                        "delay", setting.delay, self._traffic.delay.values
+                    )
+                    router.sync(setting.delay)
+                    routings, handoffs = route_scenario_batch(
+                        router,
+                        [key[0] for key in route_d],
+                        want_reusable=base_d is not None,
+                    )
+                    for key, scenario_routing in zip(route_d, routings):
+                        entry = resolved[key]
+                        entry[0] = scenario_routing.routing
+                        entry[2] = (
+                            scenario_routing.reusable
+                            if base_d is not None
+                            else None
+                        )
+                        self._batch_route_store(
+                            "delay", key[0], setting.delay, entry[0]
+                        )
+                if route_t:
+                    router = self._router_for(
+                        "tput",
+                        setting.tput,
+                        self._traffic.throughput.values,
+                    )
+                    router.sync(setting.tput)
+                    routings, _ = route_scenario_batch(
+                        router,
+                        [key[0] for key in route_t],
+                        want_reusable=False,
+                    )
+                    for key, scenario_routing in zip(route_t, routings):
+                        resolved[key][1] = scenario_routing.routing
+                        self._batch_route_store(
+                            "tput", key[0], setting.tput, resolved[key][1]
+                        )
+
+        # Stage 3: arc delays and the path-delay reuse/memo pre-pass per
+        # scenario; outstanding delay columns flush in one batched DP.
+        n = self._network.num_nodes
+        reuse_normal = reuse is not None and reuse.scenario.is_normal
+        delay_tasks: "list[tuple]" = []
+        assembled: "list[tuple]" = []
+        for key in order:
+            if key in shortcut:
+                continue
+            routing_d, routing_t, reusable_d = resolved[key]
+            total = routing_d.loads + routing_t.loads
+            delays = arc_delays(
+                total,
+                self._network.capacity,
+                self._network.prop_delay,
+                self._config.delay,
+            )
+            delay_reuse = None
+            if reusable_d and reuse_normal:
+                delay_reuse = PathDelayReuse(
+                    pair_delays=reuse.pair_delays,
+                    arc_delays=reuse.arc_delay,
+                    reusable=reusable_d,
+                )
+            out = np.full((n, n), np.nan)
+            pending = self._engine._delay_pending(
+                routing_d, delays, self._delay_mode, delay_reuse, True, out
+            )
+            delay_tasks.append((routing_d, delays, out, pending))
+            assembled.append((key, routing_d, routing_t, total, delays, out))
+        # Resolve the loads-batch handoffs to delay-task indices: every
+        # routed delay-class scenario has a task (only shortcut ones
+        # don't, and those were never routed).
+        task_of = {
+            entry[0]: task_index
+            for task_index, entry in enumerate(assembled)
+        }
+        shared = [
+            (
+                np.asarray(
+                    [task_of[route_d[i]] for i, _ in handoff.cells],
+                    dtype=np.intp,
+                ),
+                np.asarray([t for _, t in handoff.cells], dtype=np.intp),
+                handoff.schedule,
+            )
+            for handoff in handoffs
+        ]
+        flush_delay_batch(
+            self._engine, self._delay_mode, delay_tasks, shared
+        )
+
+        # Stage 4: per-scenario cost assembly (identical arithmetic).
+        for key, routing_d, routing_t, total, delays, out in assembled:
+            failure, kind = key
+            sla = sla_outcome(out, routing_d.demands, self._config.sla)
+            phi = fortz_cost(
+                total,
+                self._network.capacity,
+                include=routing_t.loads > 0.0,
+            )
+            shortcut[key] = ScenarioEvaluation(
+                scenario=failure,
+                cost=CostPair(sla.cost, phi),
+                sla=sla,
+                loads_delay=routing_d.loads,
+                loads_tput=routing_t.loads,
+                arc_delay=delays,
+                pair_delays=out,
+                utilization=total / self._network.capacity,
+                routing_delay=routing_d,
+                routing_tput=routing_t,
+                kind=kind,
+            )
+        for key, evaluation in shortcut.items():
+            for idx in slots[key]:
+                results[idx] = evaluation
 
     def evaluate_failures(
         self,

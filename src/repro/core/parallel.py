@@ -39,24 +39,40 @@ Workers are long-lived: each holds its own :class:`CachingDtrEvaluator`
 warm across sweeps, and every task reports its cumulative cache counters
 back so :attr:`ParallelDtrEvaluator.cache_stats` aggregates the whole
 fleet.
+
+With sweep batching resolved on (the default for multi-scenario
+sweeps), the process path stops shipping sweep state by value: a
+:class:`SharedSweepState` publishes the weight setting, the scenario
+list and the reuse evaluation once per sweep through
+``multiprocessing.shared_memory`` (arrays leave the pickle stream as
+protocol-5 out-of-band buffers), workers attach zero-copy, and every
+task carries only a ``(block name, scenario-index range)`` ticket.
+Workers then sweep their slice through the scenario-axis batch engine
+(:mod:`repro.routing.sweep`); the thread executor reuses the same
+grouping planner without shared memory.  Results stay bit-identical
+and invariant to ``n_jobs`` / ``chunk_size`` either way.
 """
 
 from __future__ import annotations
 
 import math
 import os
+import pickle
+import struct
 import threading
 from collections import OrderedDict, deque
 from concurrent.futures import (
     Executor,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
+    wait as futures_wait,
 )
 from dataclasses import dataclass, replace
+from multiprocessing import shared_memory
 
 import numpy as np
 
-from repro.config import OptimizerConfig
+from repro.config import ExecutionParams, OptimizerConfig
 from repro.core.evaluation import (
     DtrEvaluator,
     ScenarioCosts,
@@ -64,7 +80,7 @@ from repro.core.evaluation import (
     Scenarios,
 )
 from repro.core.weights import WeightSetting
-from repro.routing.engine import ClassRouting
+from repro.routing.engine import ClassRouting, RoutingEngine
 from repro.routing.failures import FailureScenario
 from repro.routing.network import Network
 from repro.scenarios.scenario import Scenario
@@ -295,6 +311,29 @@ class CachingDtrEvaluator(DtrEvaluator):
         self._cache.put(class_id, scenario, weights, routing)
         return routing, reusable
 
+    def _batch_route_lookup(
+        self,
+        class_id: str,
+        scenario: FailureScenario,
+        weights: np.ndarray,
+    ) -> ClassRouting | None:
+        """Cache probe of the batch sweep path (same keys as the serial
+        caching path, so warm caches answer batched sweeps too)."""
+        if self._cache is None:
+            return None
+        return self._cache.get(class_id, scenario, weights)
+
+    def _batch_route_store(
+        self,
+        class_id: str,
+        scenario: FailureScenario,
+        weights: np.ndarray,
+        routing: ClassRouting,
+    ) -> None:
+        """Cache store of the batch sweep path."""
+        if self._cache is not None:
+            self._cache.put(class_id, scenario, weights, routing)
+
 
 # ----------------------------------------------------------------------
 # worker-process state and task functions
@@ -347,6 +386,177 @@ def _worker_sweep(
         _strip_routings(evaluator.evaluate(setting, s, reuse=reuse))
         for s in scenarios
     ]
+    stats = evaluator.cache_stats
+    return (
+        outcomes,
+        os.getpid(),
+        (stats.hits_exact, stats.hits_incremental, stats.misses),
+    )
+
+
+# ----------------------------------------------------------------------
+# zero-copy shared-memory sweep state
+# ----------------------------------------------------------------------
+#: Alignment of buffers inside a shared-memory block (numpy-friendly).
+_SHM_ALIGN = 64
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _SHM_ALIGN - 1) & ~(_SHM_ALIGN - 1)
+
+
+class SharedSweepState:
+    """One sweep's shared payload, published once through shared memory.
+
+    The legacy process path pickles the weight setting, the scenario
+    chunk and the reuse evaluation (with its routings) into **every**
+    task.  This class publishes the whole sweep payload exactly once:
+    the payload is pickled with protocol 5, every contiguous array body
+    (distance columns, DAG masks, demand matrices, per-variant traffic,
+    load vectors) leaves the stream as an out-of-band buffer, and the
+    buffers land in one shared-memory block.  Workers attach by name
+    and rebuild the payload with read-only memoryviews over the block,
+    so every array is a **zero-copy view** of shared memory — tasks
+    then carry only ``(block name, scenario-index range)`` tickets, a
+    few dozen bytes regardless of instance size.
+
+    The parent disposes the block once the sweep's futures complete
+    (workers that attached keep their mapping alive until they move to
+    the next sweep, so in-flight reads are safe; POSIX keeps the pages
+    until the last map closes).
+
+    Args:
+        payload: any picklable object graph; arrays must tolerate
+            read-only reconstruction (evaluation inputs are never
+            mutated).
+    """
+
+    def __init__(self, payload: object) -> None:
+        buffers: "list[pickle.PickleBuffer]" = []
+        meta = pickle.dumps(
+            payload, protocol=5, buffer_callback=buffers.append
+        )
+        raws = [buffer.raw() for buffer in buffers]
+        header = struct.pack("<QQ", len(meta), len(raws))
+        lengths = struct.pack(f"<{len(raws)}Q", *(len(r) for r in raws))
+        offset = _aligned(len(header) + len(lengths)) + _aligned(len(meta))
+        starts = []
+        for raw in raws:
+            starts.append(offset)
+            offset += _aligned(len(raw))
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=max(offset, 1)
+        )
+        buf = self._shm.buf
+        buf[: len(header)] = header
+        buf[len(header): len(header) + len(lengths)] = lengths
+        meta_start = _aligned(len(header) + len(lengths))
+        buf[meta_start: meta_start + len(meta)] = meta
+        for raw, start in zip(raws, starts):
+            buf[start: start + len(raw)] = raw
+        self._size = offset
+        self._disposed = False
+
+    @property
+    def name(self) -> str:
+        """The shared-memory block name workers attach to."""
+        return self._shm.name
+
+    @property
+    def size(self) -> int:
+        """Published payload size in bytes (for benchmarks)."""
+        return self._size
+
+    def dispose(self) -> None:
+        """Close and unlink the block (idempotent; parent side only)."""
+        if self._disposed:
+            return
+        self._disposed = True
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    @staticmethod
+    def attach(name: str) -> "tuple[object, shared_memory.SharedMemory]":
+        """Rebuild a published payload as zero-copy views (worker side).
+
+        Returns the payload and the attached block; the caller must keep
+        the block referenced for as long as the payload's arrays live.
+        """
+        # Attaching re-registers the block with the resource tracker;
+        # under fork the tracker process is shared with the parent, so
+        # the duplicate registration is an idempotent set-add and the
+        # parent's unlink() clears it exactly once.
+        shm = shared_memory.SharedMemory(name=name)
+        buf = shm.buf
+        meta_len, num_buffers = struct.unpack_from("<QQ", buf, 0)
+        lengths = struct.unpack_from(f"<{num_buffers}Q", buf, 16)
+        meta_start = _aligned(16 + 8 * num_buffers)
+        meta = bytes(buf[meta_start: meta_start + meta_len])
+        offset = meta_start + _aligned(meta_len)
+        views = []
+        for length in lengths:
+            views.append(
+                memoryview(buf)[offset: offset + length].toreadonly()
+            )
+            offset += _aligned(length)
+        payload = pickle.loads(meta, buffers=views)
+        return payload, shm
+
+
+#: The worker's attached sweep states: name -> (payload, shm block).
+#: One sweep is live at a time; superseded blocks are closed as soon as
+#: no exported views remain (a retired block whose views are still
+#: referenced survives until the next retirement pass).
+_WORKER_SWEEPS: "dict[str, tuple[object, shared_memory.SharedMemory]]" = {}
+_WORKER_RETIRED: "list[shared_memory.SharedMemory]" = []
+
+
+def _close_retired() -> None:
+    still_open = []
+    for shm in _WORKER_RETIRED:
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - views still exported
+            still_open.append(shm)
+    _WORKER_RETIRED[:] = still_open
+
+
+def _attach_sweep_state(name: str) -> object:
+    """The (cached) payload of one published sweep, attached zero-copy."""
+    cached = _WORKER_SWEEPS.get(name)
+    if cached is not None:
+        return cached[0]
+    for stale_name in list(_WORKER_SWEEPS):
+        _, shm = _WORKER_SWEEPS.pop(stale_name)
+        _WORKER_RETIRED.append(shm)
+    _close_retired()
+    payload, shm = SharedSweepState.attach(name)
+    _WORKER_SWEEPS[name] = (payload, shm)
+    return payload
+
+
+def _worker_sweep_shared(
+    name: str, start: int, stop: int
+) -> tuple[list[ScenarioEvaluation], int, tuple[int, int, int]]:
+    """Evaluate one ticketed scenario slice against the shared state.
+
+    The ticket carries only the block name and the slice bounds; the
+    setting, scenarios and reuse evaluation are read zero-copy from the
+    attached block (once per sweep, cached across this worker's
+    tickets).  The slice sweeps through the evaluator's batched serial
+    path, so workers get scenario-axis batching too.
+    """
+    evaluator = _WORKER_EVALUATOR
+    assert evaluator is not None, "worker initializer did not run"
+    delay, tput, scenarios, reuse = _attach_sweep_state(name)
+    setting = WeightSetting(delay, tput)
+    costs = evaluator.evaluate_scenarios(
+        setting, list(scenarios[start:stop]), reuse=reuse
+    )
+    outcomes = [_strip_routings(e) for e in costs.evaluations]
     stats = evaluator.cache_stats
     return (
         outcomes,
@@ -410,6 +620,7 @@ class ParallelDtrEvaluator(CachingDtrEvaluator):
         self._executor_kind = execution.executor
         self._chunk_size = execution.chunk_size
         self._pool: Executor | None = None
+        self._pool_key: tuple[str, int] | None = None
         self._pool_lock = threading.Lock()
         self._worker_stats: dict[int, CacheStats] = {}
 
@@ -418,6 +629,79 @@ class ParallelDtrEvaluator(CachingDtrEvaluator):
     def n_jobs(self) -> int:
         """Effective worker count."""
         return self._n_jobs
+
+    def set_execution(self, execution: ExecutionParams) -> None:
+        """Adopt new execution knobs between sweeps.
+
+        The worker pool is keyed on ``(executor, n_jobs)`` **only**:
+        retuning ``chunk_size`` between sweeps keeps the warm pool —
+        and every worker's routing caches and incremental routers —
+        alive instead of paying a full pool rebuild; only a change of
+        executor kind or worker count tears the pool down (lazily
+        rebuilt on the next parallel call).  Worker-side evaluation
+        knobs (``routing_cache``, ``incremental_routing``,
+        ``routing_backend``, ``sweep_batching`` — the batch engine
+        runs *inside* the workers) are baked into the workers at pool
+        construction, so changing those rebuilds the pool too.
+        """
+        stale: Executor | None = None
+        with self._pool_lock:
+            workers_config = replace(
+                execution,
+                n_jobs=self._config.execution.n_jobs,
+                executor=self._config.execution.executor,
+                chunk_size=self._config.execution.chunk_size,
+            )
+            workers_changed = workers_config != self._config.execution
+            engine_changed = (
+                execution.incremental_routing
+                != self._config.execution.incremental_routing
+                or execution.routing_backend
+                != self._config.execution.routing_backend
+            )
+            self._n_jobs = execution.resolved_jobs
+            self._executor_kind = execution.executor
+            self._chunk_size = execution.chunk_size
+            self._sweep_batching = execution.sweep_batching
+            self._incremental = execution.incremental_routing
+            # The parent-side cache must adopt the new knobs too (small
+            # sweeps and normal evaluations run here, not in workers) —
+            # but only a cache-knob change warrants dropping the warm
+            # entries and their counters.
+            old = self._config.execution
+            if (
+                execution.routing_cache != old.routing_cache
+                or execution.cache_size != old.cache_size
+            ):
+                self._cache = (
+                    RoutingCache(execution.cache_size)
+                    if execution.routing_cache
+                    else None
+                )
+            self._config = self._config.replace(execution=execution)
+            key = (self._executor_kind, self._n_jobs)
+            if self._pool is not None and (
+                self._pool_key != key or workers_changed
+            ):
+                stale, self._pool = self._pool, None
+        if engine_changed:
+            # Routing knobs changed: the parent evaluates too
+            # (normal/reuse seeding, small sweeps), so its engine,
+            # routers and variant siblings — which have the old
+            # backend/knobs baked in — are rebuilt alongside the
+            # workers.  Cache-only knob changes keep this warm state.
+            with self._router_lock:
+                self._engine = RoutingEngine(
+                    self._network, backend=execution.routing_backend
+                )
+                self._routers.clear()
+                siblings = list(self._variant_evaluators.values())
+                self._variant_evaluators.clear()
+                self._variant_normal_cache.clear()
+            for sibling in siblings:
+                sibling.close()
+        if stale is not None:
+            stale.shutdown(wait=True)
 
     @property
     def cache_stats(self) -> CacheStats:
@@ -450,8 +734,23 @@ class ParallelDtrEvaluator(CachingDtrEvaluator):
     # ------------------------------------------------------------------
     def _ensure_pool(self) -> Executor:
         with self._pool_lock:
+            key = (self._executor_kind, self._n_jobs)
             if self._pool is None:
                 if self._executor_kind == "process":
+                    # Start the resource tracker BEFORE forking workers
+                    # so they inherit it: shared-memory blocks are then
+                    # registered and unregistered against one tracker
+                    # (the parent's unlink clears the worker attaches),
+                    # instead of every worker lazily spawning its own
+                    # tracker that warns about "leaked" blocks it never
+                    # saw unlinked.  Best-effort: purely cosmetic on
+                    # platforms where it is unavailable.
+                    try:
+                        from multiprocessing import resource_tracker
+
+                        resource_tracker.ensure_running()
+                    except Exception:  # pragma: no cover
+                        pass
                     self._pool = ProcessPoolExecutor(
                         max_workers=self._n_jobs,
                         initializer=_init_worker,
@@ -467,15 +766,22 @@ class ParallelDtrEvaluator(CachingDtrEvaluator):
                         max_workers=self._n_jobs,
                         thread_name_prefix="repro-eval",
                     )
+                self._pool_key = key
             return self._pool
 
-    def _chunks(self, items: list) -> list[list]:
-        """Contiguous chunks; about four tasks per worker unless pinned."""
+    def _chunk_ranges(self, count: int) -> list[tuple[int, int]]:
+        """Contiguous index ranges; ~four tasks per worker unless pinned."""
         if self._chunk_size is not None:
             size = self._chunk_size
         else:
-            size = max(1, math.ceil(len(items) / (self._n_jobs * 4)))
-        return [items[i: i + size] for i in range(0, len(items), size)]
+            size = max(1, math.ceil(count / (self._n_jobs * 4)))
+        return [(i, min(i + size, count)) for i in range(0, count, size)]
+
+    def _chunks(self, items: list) -> list[list]:
+        """Contiguous chunks; about four tasks per worker unless pinned."""
+        return [
+            items[lo:hi] for lo, hi in self._chunk_ranges(len(items))
+        ]
 
     def _record_worker_stats(
         self, pid: int, counters: tuple[int, int, int]
@@ -497,9 +803,10 @@ class ParallelDtrEvaluator(CachingDtrEvaluator):
         results are reassembled in scenario order, so
         ``ScenarioCosts.total_cost`` sums in the same order as the
         serial sweep and is bit-identical to it.  Chunk boundaries key
-        off nothing but list position, and composed scenarios are
-        shipped by value (their digests pin content), so the split is
-        deterministic.
+        off nothing but list position, so the split is deterministic;
+        with sweep batching on the whole payload is published once
+        through shared memory and tasks carry index tickets, otherwise
+        composed scenarios ship by value (their digests pin content).
         """
         items = list(scenarios)
         if self._n_jobs == 1 or len(items) < 2:
@@ -526,6 +833,8 @@ class ParallelDtrEvaluator(CachingDtrEvaluator):
         scenarios: "list[FailureScenario | Scenario]",
         reuse: ScenarioEvaluation,
     ) -> list[ScenarioEvaluation]:
+        if self._use_sweep_batching(len(scenarios)):
+            return self._process_sweep_shared(setting, scenarios, reuse)
         pool = self._ensure_pool()
         futures = [
             pool.submit(
@@ -544,6 +853,49 @@ class ParallelDtrEvaluator(CachingDtrEvaluator):
             self._record_worker_stats(pid, counters)
         return outcomes
 
+    def _process_sweep_shared(
+        self,
+        setting: WeightSetting,
+        scenarios: "list[FailureScenario | Scenario]",
+        reuse: ScenarioEvaluation,
+    ) -> list[ScenarioEvaluation]:
+        """The zero-copy sweep: publish once, ship index tickets only.
+
+        The sweep payload — weights, the scenario list, the reuse
+        evaluation with its routings — is published once through a
+        :class:`SharedSweepState`; every task pickles nothing but
+        ``(block name, start, stop)``.  Workers attach zero-copy and
+        run their slice through the batched serial path, so results
+        (reassembled in scenario order) are bit-identical to the serial
+        sweep and invariant to ``n_jobs`` and ``chunk_size``.
+        """
+        pool = self._ensure_pool()
+        state = SharedSweepState(
+            (setting.delay, setting.tput, tuple(scenarios), reuse)
+        )
+        futures: list = []
+        try:
+            # Plain loop (not a comprehension): a mid-submit failure
+            # must leave the already-submitted futures visible to the
+            # settle-before-dispose clause below.
+            for lo, hi in self._chunk_ranges(len(scenarios)):
+                futures.append(
+                    pool.submit(_worker_sweep_shared, state.name, lo, hi)
+                )
+            outcomes: list[ScenarioEvaluation] = []
+            for future in futures:
+                chunk_outcomes, pid, counters = future.result()
+                outcomes.extend(chunk_outcomes)
+                self._record_worker_stats(pid, counters)
+        finally:
+            # Unlinking before every ticket of this sweep has attached
+            # would fail the stragglers spuriously: settle all futures
+            # (even after a first-failure exit) before disposal.
+            if futures:
+                futures_wait(futures)
+            state.dispose()
+        return outcomes
+
     def _threaded_sweep(
         self,
         setting: WeightSetting,
@@ -551,17 +903,26 @@ class ParallelDtrEvaluator(CachingDtrEvaluator):
         reuse: ScenarioEvaluation,
     ) -> list[ScenarioEvaluation]:
         pool = self._ensure_pool()
+        batched = self._use_sweep_batching(len(scenarios))
 
-        def sweep_chunk(chunk: list) -> list[ScenarioEvaluation]:
-            # Threads share this evaluator; the cache is lock-guarded.
+        def sweep_chunk(lo: int, hi: int) -> list[ScenarioEvaluation]:
+            # Threads share this evaluator; caches and routers are
+            # lock-guarded.  The batched path reuses the same grouping
+            # planner as the shared-memory workers — no shm needed,
+            # the arrays are already shared.
+            if batched:
+                costs = DtrEvaluator.evaluate_scenarios(
+                    self, setting, scenarios[lo:hi], reuse=reuse
+                )
+                return [_strip_routings(e) for e in costs.evaluations]
             return [
                 _strip_routings(self.evaluate(setting, s, reuse=reuse))
-                for s in chunk
+                for s in scenarios[lo:hi]
             ]
 
         futures = [
-            pool.submit(sweep_chunk, chunk)
-            for chunk in self._chunks(scenarios)
+            pool.submit(sweep_chunk, lo, hi)
+            for lo, hi in self._chunk_ranges(len(scenarios))
         ]
         outcomes: list[ScenarioEvaluation] = []
         for future in futures:

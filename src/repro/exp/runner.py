@@ -73,6 +73,7 @@ def run_experiment(
     seed: int = 0,
     jobs: int | None = None,
     backend: str | None = None,
+    sweep_batch: str | None = None,
     scenarios: str | None = None,
 ) -> ExperimentResult:
     """Run one experiment and return its result.
@@ -86,6 +87,9 @@ def run_experiment(
         backend: routing kernel backend (``auto``/``python``/``vector``);
             None keeps the preset's setting.  Execution-only: results
             are identical whichever backend runs.
+        sweep_batch: scenario-axis sweep batching mode
+            (``auto``/``on``/``off``); None keeps the preset's setting.
+            Execution-only: sweeps are bit-identical either way.
         scenarios: scenario-family spec for the ``scenarios``
             experiment (e.g. ``"srlg,multi2,linkxsurge"``); None keeps
             its default.  Rejected for other experiments.
@@ -96,6 +100,8 @@ def run_experiment(
         overrides["n_jobs"] = jobs
     if backend is not None:
         overrides["routing_backend"] = backend
+    if sweep_batch is not None:
+        overrides["sweep_batching"] = sweep_batch
     if overrides:
         config = resolved.config.replace(
             execution=dataclasses.replace(
@@ -152,6 +158,16 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--sweep-batch",
+        default=None,
+        choices=("auto", "on", "off"),
+        help=(
+            "scenario-axis sweep batching (default: the preset's, "
+            "normally auto = batch multi-scenario sweeps; results are "
+            "bit-identical either way)"
+        ),
+    )
+    parser.add_argument(
         "--scenarios",
         default=None,
         metavar="SPEC",
@@ -190,6 +206,7 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
             jobs=args.jobs,
             backend=args.backend,
+            sweep_batch=args.sweep_batch,
             scenarios=args.scenarios,
         )
         elapsed = time.perf_counter() - start

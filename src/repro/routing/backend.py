@@ -49,6 +49,50 @@ VECTOR_CROSSOVER_WORK = 5_500
 VECTOR_PROPAGATION_CROSSOVER_WORK = 4_500
 
 
+#: Recognized sweep-batching modes (see :func:`resolve_sweep_batching`).
+VALID_SWEEP_BATCHING = ("auto", "on", "off")
+
+#: Scenarios below which the scenario-axis batch sweep engine
+#: (:mod:`repro.routing.sweep`) cannot amortize its planning pass under
+#: ``auto``.  Calibrated with ``benchmarks/bench_sweep.py``
+#: (``BENCH_sweep.json``): batching wins from a handful of scenarios up
+#: on every measured instance — the 16-node ISP backbone included —
+#: because the batched delay DP replaces one schedule build + kernel
+#: invocation per scenario with one per group, so only degenerate
+#: sweeps (a single scenario, where there is nothing to group) fall
+#: back to the per-scenario path.
+SWEEP_BATCH_MIN_SCENARIOS = 2
+
+
+def validate_sweep_batching(mode: str) -> str:
+    """Return ``mode`` if recognized, raise ``ValueError`` otherwise."""
+    if mode not in VALID_SWEEP_BATCHING:
+        raise ValueError(
+            f"unknown sweep_batching mode {mode!r}; "
+            f"choose from {', '.join(VALID_SWEEP_BATCHING)}"
+        )
+    return mode
+
+
+def resolve_sweep_batching(mode: str, num_scenarios: int) -> bool:
+    """Whether a sweep of ``num_scenarios`` runs the batch sweep engine.
+
+    ``"on"`` / ``"off"`` force the choice; ``"auto"`` (the default)
+    batches every sweep of at least :data:`SWEEP_BATCH_MIN_SCENARIOS`
+    scenarios.  Batching is bit-identical to the per-scenario path on
+    integer-weight instances (the same guarantee the kernel backends
+    give), so the knob is purely an execution decision.
+    """
+    validate_sweep_batching(mode)
+    if mode == "off":
+        return False
+    if num_scenarios < 1:
+        return False
+    if mode == "on":
+        return True
+    return num_scenarios >= SWEEP_BATCH_MIN_SCENARIOS
+
+
 def validate_backend(backend: str) -> str:
     """Return ``backend`` if recognized, raise ``ValueError`` otherwise."""
     if backend not in VALID_BACKENDS:

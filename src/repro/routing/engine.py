@@ -335,47 +335,15 @@ class RoutingEngine:
             raise ValueError(f"unknown delay mode {mode!r}")
         net = self._network
         arc_delays = np.asarray(arc_delays, dtype=np.float64)
-        changed = (
-            arc_delays != reuse.arc_delays if reuse is not None else None
-        )
         delays_list: list[float] | None = None
         out = np.full((net.num_nodes, net.num_nodes), np.nan)
         #: Destinations that need propagation: (row, t, memo key).  The
-        #: backend is resolved *after* this loop, once the reuse/memo
+        #: backend is resolved *after* the pre-pass, once the reuse/memo
         #: hits are known — warm sweeps leave few pending columns, and
         #: the propagation-only crossover decides for the rest.
-        pending: list[tuple[int, int, tuple | None]] = []
-        for row, t in enumerate(routing.destinations):
-            t = int(t)
-            mask_row = routing.masks[row]
-            if (
-                reuse is not None
-                and t in reuse.reusable
-                and not bool(mask_row[changed].any())
-            ):
-                out[:, t] = reuse.pair_delays[:, t]
-                continue
-            key = None
-            if memo:
-                # The DP result is a pure function of (mode, t, mask,
-                # masked delays): the distance column only supplies a
-                # topological order of the DAG, and any topological
-                # order yields the same bits (max is order-invariant,
-                # mean accumulates in fixed arc order).
-                key = (
-                    mode,
-                    t,
-                    mask_row.tobytes(),
-                    arc_delays[mask_row].tobytes(),
-                )
-                with self._delay_memo_lock:
-                    cached = self._delay_memo.get(key)
-                    if cached is not None:
-                        self._delay_memo.move_to_end(key)
-                if cached is not None:
-                    out[:, t] = cached
-                    continue
-            pending.append((row, t, key))
+        pending = self._delay_pending(
+            routing, arc_delays, mode, reuse, memo, out
+        )
         if pending and resolve_backend(
             self._backend,
             net.num_nodes,
@@ -470,6 +438,60 @@ class RoutingEngine:
                     if key is not None:
                         self._memo_put(key, out[:, t].copy())
         return out
+
+    def _delay_pending(
+        self,
+        routing: ClassRouting,
+        arc_delays: np.ndarray,
+        mode: str,
+        reuse: "PathDelayReuse | None",
+        memo: bool,
+        out: np.ndarray,
+    ) -> "list[tuple[int, int, tuple | None]]":
+        """The reuse/memo pre-pass of :meth:`path_delays`.
+
+        Copies reusable and memoized delay columns into ``out`` and
+        returns the ``(row, t, memo key)`` triples that still need
+        propagation.  Shared with the sweep engine
+        (:func:`repro.routing.sweep.flush_delay_batch`), which
+        concatenates the pending columns of many scenarios into one DP.
+        """
+        changed = (
+            arc_delays != reuse.arc_delays if reuse is not None else None
+        )
+        pending: list[tuple[int, int, tuple | None]] = []
+        for row, t in enumerate(routing.destinations):
+            t = int(t)
+            mask_row = routing.masks[row]
+            if (
+                reuse is not None
+                and t in reuse.reusable
+                and not bool(mask_row[changed].any())
+            ):
+                out[:, t] = reuse.pair_delays[:, t]
+                continue
+            key = None
+            if memo:
+                # The DP result is a pure function of (mode, t, mask,
+                # masked delays): the distance column only supplies a
+                # topological order of the DAG, and any topological
+                # order yields the same bits (max is order-invariant,
+                # mean accumulates in fixed arc order).
+                key = (
+                    mode,
+                    t,
+                    mask_row.tobytes(),
+                    arc_delays[mask_row].tobytes(),
+                )
+                with self._delay_memo_lock:
+                    cached = self._delay_memo.get(key)
+                    if cached is not None:
+                        self._delay_memo.move_to_end(key)
+                if cached is not None:
+                    out[:, t] = cached
+                    continue
+            pending.append((row, t, key))
+        return pending
 
     def _memo_put(self, key: tuple, column: np.ndarray) -> None:
         with self._delay_memo_lock:

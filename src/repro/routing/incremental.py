@@ -157,6 +157,47 @@ class RouterStats:
     scenario_routes: int = 0
 
 
+@dataclass
+class _ScenarioStructure:
+    """The structural half of one scenario delta, before load propagation.
+
+    Everything :meth:`IncrementalRouter.route_scenario` derives from the
+    base state *except* the per-destination load propagations: the
+    scenario's destination set, (possibly demand-zeroed) demand matrix,
+    repaired distance matrix and mask rows, plus which positions were hit
+    and therefore still need their contribution recomputed.  The sweep
+    engine (:mod:`repro.routing.sweep`) builds one structure per scenario
+    and batches the outstanding propagations of a whole scenario group
+    through a single kernel invocation.
+
+    Attributes:
+        scenario: the failure scenario this structure answers.
+        dest_s: demand-carrying destinations under the scenario.
+        demands: the demand matrix actually routed.
+        dist: full ``(N, N)`` distance matrix (repaired columns patched).
+        masks: per-destination DAG mask rows under the scenario.
+        arc_hit: per-position "a failed arc sat on this DAG" flags.
+        hit_list: ``arc_hit`` as a plain list (fold-loop form).
+        dem_list: per-position "a removed node fed this destination"
+            flags (None when no nodes were removed).
+        need: positions whose contribution must be recomputed.
+        base_contribs: base-state contribution rows, position-aligned.
+        base_und: base-state undelivered volumes, position-aligned.
+    """
+
+    scenario: FailureScenario
+    dest_s: np.ndarray
+    demands: np.ndarray
+    dist: np.ndarray
+    masks: np.ndarray
+    arc_hit: np.ndarray
+    hit_list: list
+    dem_list: "list | None"
+    need: list
+    base_contribs: np.ndarray
+    base_und: np.ndarray
+
+
 @dataclass(frozen=True)
 class ScenarioRouting:
     """A scenario routing plus what the delta test managed to reuse.
@@ -758,6 +799,21 @@ class IncrementalRouter:
                 else frozenset()
             )
             return ScenarioRouting(routing=self.routing, reusable=reusable)
+        struct = self._scenario_structure(scenario)
+        computed, batch_info = self._propagate_structure(struct)
+        return self._assemble_scenario(
+            struct, computed, batch_info, want_reusable
+        )
+
+    def _scenario_structure(
+        self, scenario: FailureScenario
+    ) -> _ScenarioStructure:
+        """Distances, masks and recompute positions of one scenario delta.
+
+        The structural first half of :meth:`route_scenario`, shared with
+        the batch sweep engine: everything except the outstanding load
+        propagations (listed in ``need``) and the final fold.
+        """
         self.stats.scenario_routes += 1
         net = self._net
         info = self._scenario_info.get(scenario)
@@ -877,9 +933,35 @@ class IncrementalRouter:
             for pos in range(dest_s.size)
             if hit_list[pos] or (dem_list is not None and dem_list[pos])
         ]
-        #: Pre-computed (contrib, undelivered) per position, filled by the
-        #: vector batch path; positions absent here fall through to the
-        #: per-destination python path in the fold below.
+        return _ScenarioStructure(
+            scenario=scenario,
+            dest_s=dest_s,
+            demands=demands,
+            dist=dist,
+            masks=masks,
+            arc_hit=arc_hit,
+            hit_list=hit_list,
+            dem_list=dem_list,
+            need=need,
+            base_contribs=base_contribs,
+            base_und=base_und,
+        )
+
+    def _propagate_structure(
+        self, struct: _ScenarioStructure
+    ) -> "tuple[dict[int, tuple[np.ndarray, float]], tuple | None]":
+        """Per-scenario propagation of one structure's ``need`` positions.
+
+        Returns ``(computed, batch_info)``: pre-computed ``(contrib,
+        undelivered)`` entries per position — filled by the vector batch
+        path; positions absent fall through to the per-destination python
+        path in the assembly fold — and the ``(dests-bytes, schedule)``
+        pair of the batch, when one ran, for path-delay schedule reuse.
+        """
+        dest_s, masks = struct.dest_s, struct.masks
+        dist, demands = struct.dist, struct.demands
+        dem_list, need = struct.dem_list, struct.need
+        n, num_arcs = self._net.num_nodes, self._net.num_arcs
         computed: dict[int, tuple[np.ndarray, float]] = {}
         batch_schedule = None
         bd = None
@@ -924,8 +1006,33 @@ class IncrementalRouter:
                         t, masks[pos], dist[:, t], contrib, und_value
                     )
                     computed[pos] = (contrib, und_value)
+        batch_info = (
+            (bd.tobytes(), batch_schedule)
+            if batch_schedule is not None
+            else None
+        )
+        return computed, batch_info
 
-        loads = np.zeros(num_arcs)
+    def _assemble_scenario(
+        self,
+        struct: _ScenarioStructure,
+        computed: "dict[int, tuple[np.ndarray, float]]",
+        batch_info: "tuple | None",
+        want_reusable: bool,
+    ) -> ScenarioRouting:
+        """Fold a structure (plus computed propagations) into a routing.
+
+        The shared ``loads`` array and the ``undelivered`` total fold in
+        ascending destination order — ``route_class``'s float summation
+        order — so the result is bit-identical to a from-scratch call
+        regardless of how the ``computed`` entries were produced (memo
+        hit, per-destination python kernel, per-scenario batch, or the
+        sweep engine's cross-scenario batch).
+        """
+        dest_s, masks = struct.dest_s, struct.masks
+        dist, demands = struct.dist, struct.demands
+        hit_list, dem_list = struct.hit_list, struct.dem_list
+        loads = np.zeros(self._net.num_arcs)
         undelivered = 0.0
         recomputed = 0
         for pos, t in enumerate(dest_s.tolist()):
@@ -945,14 +1052,14 @@ class IncrementalRouter:
                 undelivered += und_value
                 recomputed += 1
             else:
-                loads += base_contribs[pos]
-                undelivered += float(base_und[pos])
+                loads += struct.base_contribs[pos]
+                undelivered += float(struct.base_und[pos])
         self.stats.destinations_recomputed += recomputed
         self.stats.destinations_reused += int(dest_s.size) - recomputed
 
         routing = ClassRouting(
-            network=net,
-            scenario=scenario,
+            network=self._net,
+            scenario=struct.scenario,
             dist=dist,
             destinations=dest_s,
             masks=masks,
@@ -960,17 +1067,13 @@ class IncrementalRouter:
             demands=demands,
             undelivered=undelivered,
         )
-        if batch_schedule is not None:
+        if batch_info is not None:
             # path_delays often re-propagates exactly the recomputed
             # destinations; handing it this schedule (keyed by the
             # destination ids it covers) skips a rebuild.
-            object.__setattr__(
-                routing,
-                "_subset_schedule",
-                (bd.tobytes(), batch_schedule),
-            )
+            object.__setattr__(routing, "_subset_schedule", batch_info)
         reusable = (
-            frozenset(int(t) for t in dest_s[~arc_hit])
+            frozenset(int(t) for t in dest_s[~struct.arc_hit])
             if want_reusable
             else frozenset()
         )

@@ -359,27 +359,40 @@ def batch_total_loads(
 
 def _batch_propagate_delay(
     plan: BatchPlan,
-    masks: np.ndarray,
+    masks: np.ndarray | None,
     dist_cols: np.ndarray | None,
     arc_delays: np.ndarray,
     dests: np.ndarray,
     mean: bool,
     schedule: BatchSchedule | None = None,
+    delay_rows: np.ndarray | None = None,
 ) -> np.ndarray:
     """Shared driver of the worst/mean path-delay DPs (ascending levels).
 
-    ``dist_cols`` may be None when ``schedule`` is supplied — the DP
-    itself only consumes the schedule.
+    ``masks`` and ``dist_cols`` may be None when ``schedule`` is
+    supplied — the DP itself only consumes the schedule.
+
+    With ``delay_rows``, ``arc_delays`` is a 2-D ``(S, num_arcs)`` stack
+    and column ``i`` reads row ``delay_rows[i]`` — the scenario-axis
+    batching hook: columns belonging to different failure scenarios (and
+    therefore different arc-delay vectors) share one schedule and one
+    level sweep.  Per column the arithmetic is unchanged — the same
+    ``arc_delay + downstream`` additions, the same per-cell
+    bincount/reduceat folds — so each column stays bit-identical to a
+    single-scenario call.
     """
-    n, d = plan.num_nodes, masks.shape[0]
-    cols = np.arange(d)
     dests = np.asarray(dests, dtype=np.intp)
+    n = plan.num_nodes
+    d = masks.shape[0] if masks is not None else len(dests)
+    cols = np.arange(d)
     delay = np.full((n, d), np.inf)
     delay[dests, cols] = 0.0
     if schedule is not None:
         sched = schedule
     else:
-        assert dist_cols is not None, "need dist_cols without a schedule"
+        assert masks is not None and dist_cols is not None, (
+            "need masks and dist_cols without a schedule"
+        )
         sched = build_schedule(plan, masks, dist_cols)
     arc_dst = plan.arc_dst
     for lv in range(sched.num_levels):
@@ -390,8 +403,14 @@ def _batch_propagate_delay(
         l_nodes = sched.nodes[p0:p1]
         l_cols = sched.cols[p0:p1]
         l_arcs = sched.arcs[a0:a1]
+        if delay_rows is None:
+            arc_base = arc_delays[l_arcs]
+        else:
+            arc_base = arc_delays[
+                delay_rows[sched.arc_cols[a0:a1]], l_arcs
+            ]
         candidates = (
-            arc_delays[l_arcs]
+            arc_base
             + delay[arc_dst[l_arcs], sched.arc_cols[a0:a1]]
         )
         has = (sched.live_counts[p0:p1] > 0.0) & (l_nodes != dests[l_cols])
@@ -418,39 +437,44 @@ def _batch_propagate_delay(
 
 def batch_propagate_worst_delay(
     plan: BatchPlan,
-    masks: np.ndarray,
+    masks: np.ndarray | None,
     dist_cols: np.ndarray | None,
     arc_delays: np.ndarray,
     dests: np.ndarray,
     schedule: BatchSchedule | None = None,
+    delay_rows: np.ndarray | None = None,
 ) -> np.ndarray:
     """Worst used-path delay columns for a destination batch.
 
     Returns an ``(N, D)`` array whose column ``i`` is bit-identical to
     ``fast_propagate_worst_delay`` towards ``dests[i]`` (``max`` picks
     one of its inputs, so segment maxima involve no rounding freedom).
+    ``delay_rows`` selects a per-column row of a 2-D ``arc_delays``
+    stack (scenario-axis batching).
     """
     return _batch_propagate_delay(
         plan, masks, dist_cols, arc_delays, dests, mean=False,
-        schedule=schedule,
+        schedule=schedule, delay_rows=delay_rows,
     )
 
 
 def batch_propagate_mean_delay(
     plan: BatchPlan,
-    masks: np.ndarray,
+    masks: np.ndarray | None,
     dist_cols: np.ndarray | None,
     arc_delays: np.ndarray,
     dests: np.ndarray,
     schedule: BatchSchedule | None = None,
+    delay_rows: np.ndarray | None = None,
 ) -> np.ndarray:
     """Flow-weighted mean path-delay columns for a destination batch.
 
     ``np.bincount`` accumulates sequentially in flat input order — the
     python kernel's arc order — so each column is bit-identical to
-    ``fast_propagate_mean_delay``.
+    ``fast_propagate_mean_delay``.  ``delay_rows`` selects a per-column
+    row of a 2-D ``arc_delays`` stack (scenario-axis batching).
     """
     return _batch_propagate_delay(
         plan, masks, dist_cols, arc_delays, dests, mean=True,
-        schedule=schedule,
+        schedule=schedule, delay_rows=delay_rows,
     )

@@ -355,3 +355,72 @@ class TestMakeEvaluator:
         with pytest.raises(ValueError):
             ExecutionParams(chunk_size=0)
         assert ExecutionParams(n_jobs=0).resolved_jobs >= 1
+
+
+@pytest.mark.parallel
+class TestPoolKeying:
+    """The worker pool is keyed on (executor, n_jobs) only: retuning
+    chunking or sweep knobs between sweeps must keep the warm pool."""
+
+    def test_chunk_size_change_keeps_pool(self, isp_instance, isp_setting):
+        network, traffic = isp_instance
+        failures = single_link_failures(network)
+        with ParallelDtrEvaluator(
+            network, traffic, _config(n_jobs=2)
+        ) as parallel:
+            reference = parallel.evaluate_failures(isp_setting, failures)
+            pool = parallel._pool
+            assert pool is not None
+            parallel.set_execution(
+                ExecutionParams(n_jobs=2, chunk_size=5)
+            )
+            candidate = parallel.evaluate_failures(isp_setting, failures)
+            assert parallel._pool is pool  # same warm pool, new chunking
+            # sweep_batching runs inside the workers: must rebuild
+            parallel.set_execution(
+                ExecutionParams(
+                    n_jobs=2, chunk_size=5, sweep_batching="off"
+                )
+            )
+            assert parallel._pool is None
+            legacy = parallel.evaluate_failures(isp_setting, failures)
+        _assert_bit_identical(reference, candidate)
+        _assert_bit_identical(reference, legacy)
+
+    def test_worker_count_change_rebuilds_pool(
+        self, isp_instance, isp_setting
+    ):
+        network, traffic = isp_instance
+        failures = single_link_failures(network)
+        with ParallelDtrEvaluator(
+            network, traffic, _config(n_jobs=2)
+        ) as parallel:
+            reference = parallel.evaluate_failures(isp_setting, failures)
+            pool = parallel._pool
+            parallel.set_execution(ExecutionParams(n_jobs=3))
+            assert parallel._pool is None  # torn down, rebuilt lazily
+            candidate = parallel.evaluate_failures(isp_setting, failures)
+            assert parallel._pool is not pool
+            assert parallel.n_jobs == 3
+        _assert_bit_identical(reference, candidate)
+
+    def test_worker_side_knob_change_rebuilds_pool(
+        self, isp_instance, isp_setting
+    ):
+        network, traffic = isp_instance
+        failures = single_link_failures(network)
+        with ParallelDtrEvaluator(
+            network, traffic, _config(n_jobs=2)
+        ) as parallel:
+            reference = parallel.evaluate_failures(isp_setting, failures)
+            pool = parallel._pool
+            # routing_cache is baked into the workers: must rebuild,
+            # and the parent-side cache adopts the knob too
+            parallel.set_execution(
+                ExecutionParams(n_jobs=2, routing_cache=False)
+            )
+            assert parallel._pool is None
+            assert parallel.cache is None
+            candidate = parallel.evaluate_failures(isp_setting, failures)
+            assert parallel._pool is not pool
+        _assert_bit_identical(reference, candidate)
