@@ -1,0 +1,191 @@
+"""Resume-parity smoke test: interrupt, resume, compare bitwise.
+
+CI drives this in three steps against one small seeded instance::
+
+    python scripts/resume_smoke.py reference --out ref.pkl
+    python scripts/resume_smoke.py interrupt --checkpoint run.ckpt
+    python scripts/resume_smoke.py resume --checkpoint run.ckpt \
+        --reference ref.pkl
+
+``reference`` runs the optimizer uninterrupted and records the final
+weights and costs.  ``interrupt`` runs the same seeded optimization but
+self-delivers a real SIGTERM mid-iteration (via the optimizer's
+``interrupt_after`` hook); it exits 0 only if the run was interrupted
+AND left a checkpoint behind.  ``resume`` restarts from that checkpoint
+and exits nonzero unless the resumed result is bit-identical to the
+reference — same weight arrays (``np.array_equal``), same normal and
+K_fail costs.
+
+Any divergence is a real bug in the checkpoint/resume path, never
+tolerance noise: the resume contract is bitwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pickle
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.config import (
+    OptimizerConfig,
+    SamplingParams,
+    SearchParams,
+    WeightParams,
+)
+from repro.core.checkpoint import OptimizerInterrupted
+from repro.core.optimizer import RobustDtrOptimizer, RobustRoutingResult
+from repro.exp.common import make_instance
+
+#: Where in the run the SIGTERM lands.  25 boundaries is deep inside
+#: Phase 2 for this configuration, so the resumed run re-enters the
+#: robust search mid-stream — the hardest case.
+INTERRUPT_AFTER = 25
+
+SEED = 0
+
+
+def build_optimizer() -> RobustDtrOptimizer:
+    """The smoke instance: small, seeded, minutes-scale."""
+    config = OptimizerConfig(
+        weights=WeightParams(w_min=1, w_max=12, q=0.7),
+        search=SearchParams(
+            phase1_diversification_interval=3,
+            phase1_diversifications=1,
+            phase2_diversification_interval=2,
+            phase2_diversifications=1,
+            improvement_cutoff=0.01,
+            arcs_per_iteration_fraction=0.5,
+            round_iteration_cap_factor=3,
+            max_iterations=30,
+        ),
+        sampling=SamplingParams(
+            tau=1, min_samples_per_link=2, max_extra_samples=400
+        ),
+        critical_fraction=0.2,
+        keep_acceptable_settings=5,
+    )
+    instance = make_instance("rand", 12, 4.0, seed=SEED)
+    return RobustDtrOptimizer(
+        instance.network,
+        instance.traffic,
+        config,
+        rng=np.random.default_rng(SEED),
+    )
+
+
+def summarize(result: RobustRoutingResult) -> dict:
+    """The comparison payload: weights and costs, nothing lossy."""
+    return {
+        "robust_delay": np.asarray(result.robust_setting.delay),
+        "robust_tput": np.asarray(result.robust_setting.tput),
+        "regular_delay": np.asarray(result.regular_setting.delay),
+        "regular_tput": np.asarray(result.regular_setting.tput),
+        "best_kfail": (
+            result.phase2.best_kfail.lam,
+            result.phase2.best_kfail.phi,
+        ),
+        "normal_cost": (
+            result.phase2.normal_cost.lam,
+            result.phase2.normal_cost.phi,
+        ),
+        "phase1_cost": (
+            result.phase1.best_cost.lam,
+            result.phase1.best_cost.phi,
+        ),
+    }
+
+
+def cmd_reference(out: Path) -> int:
+    optimizer = build_optimizer()
+    try:
+        result = optimizer.run()
+    finally:
+        optimizer.close()
+    with open(out, "wb") as handle:
+        pickle.dump(summarize(result), handle)
+    print(f"reference written to {out}")
+    print(f"  best K_fail: {result.phase2.best_kfail}")
+    return 0
+
+
+def cmd_interrupt(checkpoint: Path) -> int:
+    optimizer = build_optimizer()
+    try:
+        optimizer.run(
+            checkpoint=checkpoint,
+            checkpoint_every=5,
+            interrupt_after=INTERRUPT_AFTER,
+        )
+    except OptimizerInterrupted as interrupted:
+        if not Path(interrupted.path).exists():
+            print(
+                f"FAIL: interrupted but no checkpoint at {interrupted.path}"
+            )
+            return 1
+        print(f"interrupted as planned; checkpoint at {interrupted.path}")
+        return 0
+    finally:
+        optimizer.close()
+    print("FAIL: run completed without being interrupted")
+    return 1
+
+
+def cmd_resume(checkpoint: Path, reference: Path) -> int:
+    if not checkpoint.exists():
+        print(f"FAIL: no checkpoint at {checkpoint}")
+        return 1
+    with open(reference, "rb") as handle:
+        expected = pickle.load(handle)
+    optimizer = build_optimizer()
+    try:
+        result = optimizer.run(
+            checkpoint=checkpoint,
+            resume_from=checkpoint,
+            checkpoint_every=5,
+        )
+    finally:
+        optimizer.close()
+    actual = summarize(result)
+    failures = []
+    for key, want in expected.items():
+        got = actual[key]
+        if isinstance(want, np.ndarray):
+            same = np.array_equal(want, got)
+        else:
+            same = want == got
+        status = "ok" if same else "DIVERGED"
+        print(f"  {key}: {status}")
+        if not same:
+            failures.append(f"{key}: expected {want!r}, got {got!r}")
+    if failures:
+        print("FAIL: resumed run diverged bitwise from reference:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print("resume parity OK: bit-identical to the uninterrupted run")
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+    ref = sub.add_parser("reference", help="run uninterrupted, record")
+    ref.add_argument("--out", type=Path, required=True)
+    inter = sub.add_parser("interrupt", help="run, SIGTERM mid-iteration")
+    inter.add_argument("--checkpoint", type=Path, required=True)
+    res = sub.add_parser("resume", help="resume and compare bitwise")
+    res.add_argument("--checkpoint", type=Path, required=True)
+    res.add_argument("--reference", type=Path, required=True)
+    args = parser.parse_args(argv)
+    if args.command == "reference":
+        return cmd_reference(args.out)
+    if args.command == "interrupt":
+        return cmd_interrupt(args.checkpoint)
+    return cmd_resume(args.checkpoint, args.reference)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

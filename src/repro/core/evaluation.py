@@ -66,7 +66,7 @@ from repro.routing.sweep import (
     plan_sweep,
     route_scenario_batch,
 )
-from repro.scenarios.scenario import Scenario, ScenarioSet
+from repro.scenarios.scenario import Scenario, ScenarioSet, as_scenario
 from repro.scenarios.variants import TrafficVariant
 from repro.traffic.gravity import DtrTraffic
 
@@ -208,6 +208,68 @@ FailureEvaluation = ScenarioCosts
 """Legacy name of :class:`ScenarioCosts` (pre-scenario-subsystem API)."""
 
 
+def compact_evaluation(
+    evaluation: ScenarioEvaluation,
+) -> ScenarioEvaluation:
+    """A scalars-only copy of one evaluation: costs and SLA kept.
+
+    Drops every per-arc/per-pair array (loads, delays, utilization) and
+    the routings — what remains (``cost``, the all-scalar ``sla``,
+    ``variant``, ``kind``) is exactly what cost-folding consumers such
+    as Phase 2's ordered sweep read.  The scalars are the originals, so
+    folds over compact evaluations are bit-identical to folds over full
+    ones.
+    """
+    if evaluation.loads_delay is None and evaluation.routing_delay is None:
+        return evaluation
+    return replace(
+        evaluation,
+        loads_delay=None,
+        loads_tput=None,
+        arc_delay=None,
+        pair_delays=None,
+        utilization=None,
+        routing_delay=None,
+        routing_tput=None,
+    )
+
+
+@dataclass(frozen=True)
+class SweepMemoStats:
+    """Counters of the costs-only sweep memo (cache_stats-style).
+
+    Attributes:
+        hits: sweeps answered from the memo (no dispatch at all).
+        misses: sweeps that had to be evaluated (then memoized).
+    """
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total memoizable sweep requests."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of sweep requests served from the memo."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def __add__(self, other: "SweepMemoStats") -> "SweepMemoStats":
+        return SweepMemoStats(
+            self.hits + other.hits, self.misses + other.misses
+        )
+
+
+#: Entries kept in the costs-only sweep memo.  Phase 2 cycles through at
+#: most ``keep_acceptable_settings`` diversification starts plus the
+#: incumbent, so a few dozen compact (scalars-only) entries already
+#: serve every repeat; the memo is deliberately small because its values
+#: are kept alive for the whole search.
+_SWEEP_MEMO_CAPACITY = 32
+
+
 class DtrEvaluator:
     """Cost oracle for one (network, traffic, configuration) instance."""
 
@@ -239,6 +301,16 @@ class DtrEvaluator:
         self._variant_normal_cache: dict[
             str, OrderedDict[tuple[bytes, bytes], ScenarioEvaluation]
         ] = {}
+        #: Costs-only sweep memo: (setting key, scenario-set digest) ->
+        #: compact :class:`ScenarioCosts`.  Serves repeat
+        #: :meth:`evaluate_scenario_costs` sweeps — Phase 2's
+        #: worst-first re-sorts revisit the same pool settings — without
+        #: re-dispatching any evaluation work.
+        self._sweep_memo: "OrderedDict[tuple, ScenarioCosts]" = (
+            OrderedDict()
+        )
+        self._sweep_memo_hits = 0
+        self._sweep_memo_misses = 0
 
     # ------------------------------------------------------------------
     @property
@@ -683,6 +755,72 @@ class DtrEvaluator:
             )
         return ScenarioCosts(
             tuple(self.evaluate(setting, s, reuse=reuse) for s in items)
+        )
+
+    # ------------------------------------------------------------------
+    # costs-only sweeps and the sweep memo
+    # ------------------------------------------------------------------
+    @property
+    def sweep_memo_stats(self) -> SweepMemoStats:
+        """Counters of the costs-only sweep memo."""
+        with self._router_lock:
+            return SweepMemoStats(
+                self._sweep_memo_hits, self._sweep_memo_misses
+            )
+
+    def evaluate_scenario_costs(
+        self,
+        setting: WeightSetting,
+        scenarios: Scenarios,
+        reuse: ScenarioEvaluation | None = None,
+    ) -> ScenarioCosts:
+        """Costs of the setting across a scenario set, scalars only.
+
+        The costs-only counterpart of :meth:`evaluate_scenarios` — same
+        per-scenario arithmetic, same fold order, but the returned
+        evaluations are :func:`compact_evaluation` copies (costs and SLA
+        scalars, no arrays or routings).  Two consequences:
+
+        * a parallel evaluator's workers fold locally and ship scalars
+          instead of per-scenario arrays (see
+          :class:`~repro.core.parallel.ParallelDtrEvaluator`);
+        * results are memoized by ``(setting key, scenario-set
+          digest)``, so a repeat sweep of the same setting over the same
+          set — Phase 2's worst-first re-sorts do exactly this — is
+          answered without dispatching any work.  Memo hits return the
+          stored object verbatim, so they are bit-identical by
+          construction and counted in :attr:`sweep_memo_stats`, never in
+          :attr:`num_evaluations`.
+        """
+        items = list(scenarios)
+        key = (
+            setting.key(),
+            ScenarioSet(tuple(as_scenario(s) for s in items)).digest,
+        )
+        with self._router_lock:
+            cached = self._sweep_memo.get(key)
+            if cached is not None:
+                self._sweep_memo.move_to_end(key)
+                self._sweep_memo_hits += 1
+                return cached
+            self._sweep_memo_misses += 1
+        costs = self._sweep_costs(setting, items, reuse)
+        with self._router_lock:
+            self._sweep_memo[key] = costs
+            while len(self._sweep_memo) > _SWEEP_MEMO_CAPACITY:
+                self._sweep_memo.popitem(last=False)
+        return costs
+
+    def _sweep_costs(
+        self,
+        setting: WeightSetting,
+        items: list,
+        reuse: ScenarioEvaluation | None,
+    ) -> ScenarioCosts:
+        """One costs-only sweep (memo miss); subclasses parallelize."""
+        full = self.evaluate_scenarios(setting, items, reuse=reuse)
+        return ScenarioCosts(
+            tuple(compact_evaluation(e) for e in full.evaluations)
         )
 
     # ------------------------------------------------------------------

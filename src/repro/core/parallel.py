@@ -55,11 +55,14 @@ and invariant to ``n_jobs`` / ``chunk_size`` either way.
 
 from __future__ import annotations
 
+import atexit
 import math
 import os
 import pickle
+import signal
 import struct
 import threading
+import weakref
 from collections import OrderedDict, deque
 from concurrent.futures import (
     Executor,
@@ -78,6 +81,7 @@ from repro.core.evaluation import (
     ScenarioCosts,
     ScenarioEvaluation,
     Scenarios,
+    compact_evaluation,
 )
 from repro.core.weights import WeightSetting
 from repro.routing.engine import ClassRouting, RoutingEngine
@@ -366,6 +370,7 @@ def _worker_sweep(
     tput_weights: np.ndarray,
     scenarios: "tuple[FailureScenario | Scenario, ...]",
     reuse: ScenarioEvaluation | None,
+    costs_only: bool = False,
 ) -> tuple[list[ScenarioEvaluation], int, tuple[int, int, int]]:
     """Evaluate one scenario chunk in a worker process.
 
@@ -375,6 +380,10 @@ def _worker_sweep(
     their sibling oracles per process, seeded deterministically, so the
     fan-out stays bit-identical to a serial sweep).
 
+    With ``costs_only`` the worker folds locally: evaluations are
+    compacted to their scalars (cost + SLA) before shipping, so the IPC
+    payload is a few floats per scenario regardless of instance size.
+
     Returns the stripped evaluations in input order plus the worker's pid
     and *cumulative* cache counters (the parent keeps the latest counters
     per pid, so re-sending totals is idempotent).
@@ -382,8 +391,9 @@ def _worker_sweep(
     evaluator = _WORKER_EVALUATOR
     assert evaluator is not None, "worker initializer did not run"
     setting = WeightSetting(delay_weights, tput_weights)
+    fold = compact_evaluation if costs_only else _strip_routings
     outcomes = [
-        _strip_routings(evaluator.evaluate(setting, s, reuse=reuse))
+        fold(evaluator.evaluate(setting, s, reuse=reuse))
         for s in scenarios
     ]
     stats = evaluator.cache_stats
@@ -456,6 +466,8 @@ class SharedSweepState:
             buf[start: start + len(raw)] = raw
         self._size = offset
         self._disposed = False
+        _LIVE_SWEEP_STATES.add(self)
+        _install_sweep_cleanup()
 
     @property
     def name(self) -> str:
@@ -472,6 +484,7 @@ class SharedSweepState:
         if self._disposed:
             return
         self._disposed = True
+        _LIVE_SWEEP_STATES.discard(self)
         self._shm.close()
         try:
             self._shm.unlink()
@@ -504,6 +517,55 @@ class SharedSweepState:
             offset += _aligned(length)
         payload = pickle.loads(meta, buffers=views)
         return payload, shm
+
+
+#: Parent-side registry of live (undisposed) sweep blocks.  Shared
+#: memory outlives the process on abnormal exits — a SIGTERM mid-sweep
+#: would leak the block in /dev/shm until reboot — so every live state
+#: is tracked weakly and unlinked from an ``atexit`` hook and (when no
+#: other handler claimed the signal) a chaining SIGTERM handler.
+_LIVE_SWEEP_STATES: "weakref.WeakSet[SharedSweepState]" = weakref.WeakSet()
+_SWEEP_CLEANUP_INSTALLED = False
+
+
+def _dispose_live_sweep_states() -> None:
+    """Unlink every still-live sweep block (idempotent, best-effort)."""
+    for state in list(_LIVE_SWEEP_STATES):
+        try:
+            state.dispose()
+        except Exception:  # pragma: no cover - teardown best effort
+            pass
+
+
+def _sweep_cleanup_handler(signum: int, frame: object) -> None:
+    """Dispose live blocks, then re-deliver the signal with SIG_DFL."""
+    _dispose_live_sweep_states()
+    signal.signal(signum, signal.SIG_DFL)
+    os.kill(os.getpid(), signum)
+
+
+def _install_sweep_cleanup() -> None:
+    """One-shot registration of the atexit/SIGTERM cleanup hooks.
+
+    The atexit hook always registers; the SIGTERM handler only when the
+    signal is still at its default disposition and we are on the main
+    thread — an application (or :class:`~repro.core.checkpoint.
+    CheckpointManager`) that installed its own handler keeps it, and its
+    orderly unwind disposes the blocks through the existing
+    ``try/finally`` paths.
+    """
+    global _SWEEP_CLEANUP_INSTALLED
+    if _SWEEP_CLEANUP_INSTALLED:
+        return
+    _SWEEP_CLEANUP_INSTALLED = True
+    atexit.register(_dispose_live_sweep_states)
+    if threading.current_thread() is not threading.main_thread():
+        return
+    try:
+        if signal.getsignal(signal.SIGTERM) == signal.SIG_DFL:
+            signal.signal(signal.SIGTERM, _sweep_cleanup_handler)
+    except (ValueError, OSError):  # pragma: no cover - exotic contexts
+        pass
 
 
 #: The worker's attached sweep states: name -> (payload, shm block).
@@ -539,7 +601,7 @@ def _attach_sweep_state(name: str) -> object:
 
 
 def _worker_sweep_shared(
-    name: str, start: int, stop: int
+    name: str, start: int, stop: int, costs_only: bool = False
 ) -> tuple[list[ScenarioEvaluation], int, tuple[int, int, int]]:
     """Evaluate one ticketed scenario slice against the shared state.
 
@@ -547,7 +609,8 @@ def _worker_sweep_shared(
     setting, scenarios and reuse evaluation are read zero-copy from the
     attached block (once per sweep, cached across this worker's
     tickets).  The slice sweeps through the evaluator's batched serial
-    path, so workers get scenario-axis batching too.
+    path, so workers get scenario-axis batching too.  ``costs_only``
+    folds locally — only cost/SLA scalars ship back.
     """
     evaluator = _WORKER_EVALUATOR
     assert evaluator is not None, "worker initializer did not run"
@@ -556,7 +619,8 @@ def _worker_sweep_shared(
     costs = evaluator.evaluate_scenarios(
         setting, list(scenarios[start:stop]), reuse=reuse
     )
-    outcomes = [_strip_routings(e) for e in costs.evaluations]
+    fold = compact_evaluation if costs_only else _strip_routings
+    outcomes = [fold(e) for e in costs.evaluations]
     stats = evaluator.cache_stats
     return (
         outcomes,
@@ -827,14 +891,48 @@ class ParallelDtrEvaluator(CachingDtrEvaluator):
             self._num_evaluations += len(items)
         return ScenarioCosts(tuple(outcomes))
 
+    def _sweep_costs(
+        self,
+        setting: WeightSetting,
+        items: list,
+        reuse: ScenarioEvaluation | None,
+    ) -> ScenarioCosts:
+        """Costs-only sweep across the pool: workers fold locally.
+
+        Same fan-out and fold order as :meth:`evaluate_scenarios`, but
+        each worker compacts its outcomes before shipping, so the IPC
+        return is a few scalars per scenario instead of load vectors
+        and SLA arrays.  Cost values are bit-identical — compaction
+        happens strictly after the worker computed the full evaluation.
+        """
+        if self._n_jobs == 1 or len(items) < 2:
+            return super()._sweep_costs(setting, items, reuse)
+        if reuse is None:
+            reuse = self.evaluate_normal(setting)
+        if self._executor_kind == "thread":
+            before = self._num_evaluations
+            outcomes = self._threaded_sweep(
+                setting, items, reuse, costs_only=True
+            )
+            self._num_evaluations = before + len(items)
+        else:
+            outcomes = self._process_sweep(
+                setting, items, reuse, costs_only=True
+            )
+            self._num_evaluations += len(items)
+        return ScenarioCosts(tuple(outcomes))
+
     def _process_sweep(
         self,
         setting: WeightSetting,
         scenarios: "list[FailureScenario | Scenario]",
         reuse: ScenarioEvaluation,
+        costs_only: bool = False,
     ) -> list[ScenarioEvaluation]:
         if self._use_sweep_batching(len(scenarios)):
-            return self._process_sweep_shared(setting, scenarios, reuse)
+            return self._process_sweep_shared(
+                setting, scenarios, reuse, costs_only=costs_only
+            )
         pool = self._ensure_pool()
         futures = [
             pool.submit(
@@ -843,6 +941,7 @@ class ParallelDtrEvaluator(CachingDtrEvaluator):
                 setting.tput,
                 tuple(chunk),
                 reuse,
+                costs_only,
             )
             for chunk in self._chunks(scenarios)
         ]
@@ -858,6 +957,7 @@ class ParallelDtrEvaluator(CachingDtrEvaluator):
         setting: WeightSetting,
         scenarios: "list[FailureScenario | Scenario]",
         reuse: ScenarioEvaluation,
+        costs_only: bool = False,
     ) -> list[ScenarioEvaluation]:
         """The zero-copy sweep: publish once, ship index tickets only.
 
@@ -880,7 +980,13 @@ class ParallelDtrEvaluator(CachingDtrEvaluator):
             # settle-before-dispose clause below.
             for lo, hi in self._chunk_ranges(len(scenarios)):
                 futures.append(
-                    pool.submit(_worker_sweep_shared, state.name, lo, hi)
+                    pool.submit(
+                        _worker_sweep_shared,
+                        state.name,
+                        lo,
+                        hi,
+                        costs_only,
+                    )
                 )
             outcomes: list[ScenarioEvaluation] = []
             for future in futures:
@@ -901,9 +1007,11 @@ class ParallelDtrEvaluator(CachingDtrEvaluator):
         setting: WeightSetting,
         scenarios: "list[FailureScenario | Scenario]",
         reuse: ScenarioEvaluation,
+        costs_only: bool = False,
     ) -> list[ScenarioEvaluation]:
         pool = self._ensure_pool()
         batched = self._use_sweep_batching(len(scenarios))
+        fold = compact_evaluation if costs_only else _strip_routings
 
         def sweep_chunk(lo: int, hi: int) -> list[ScenarioEvaluation]:
             # Threads share this evaluator; caches and routers are
@@ -914,9 +1022,9 @@ class ParallelDtrEvaluator(CachingDtrEvaluator):
                 costs = DtrEvaluator.evaluate_scenarios(
                     self, setting, scenarios[lo:hi], reuse=reuse
                 )
-                return [_strip_routings(e) for e in costs.evaluations]
+                return [fold(e) for e in costs.evaluations]
             return [
-                _strip_routings(self.evaluate(setting, s, reuse=reuse))
+                fold(self.evaluate(setting, s, reuse=reuse))
                 for s in scenarios[lo:hi]
             ]
 

@@ -17,6 +17,14 @@ of both classes stabilize (gamma-weighted rank-change index at most
 
 Phase 1c (Section IV-D2) turns samples into criticalities (Eqs. 8-9),
 normalizes them, and runs Algorithm 1 to pick the critical set ``Ec``.
+
+Checkpointing: both search loops call the optional
+:class:`~repro.core.checkpoint.CheckpointManager` at the top of every
+outer iteration (a *boundary*: the search state is exactly the loop
+locals plus the RNG state).  A restored payload re-enters the loop with
+those locals and the RNG state; the incumbent's reuse evaluation is
+recomputed (bit-identical by evaluator parity), so an interrupted and
+resumed Phase 1 produces bit-identical results to an uninterrupted one.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.config import OptimizerConfig
+from repro.core.checkpoint import CheckpointManager
 from repro.core.convergence import RankConvergenceTracker
 from repro.core.criticality import CriticalityEstimate, estimate_criticality
 from repro.core.evaluation import DtrEvaluator, ScenarioEvaluation
@@ -175,38 +184,78 @@ def run_phase1a(
     rng: np.random.Generator,
     collector: SampleCollector | None,
     stats: SearchStats,
+    manager: "CheckpointManager | None" = None,
+    restore: "dict | None" = None,
 ) -> tuple[WeightSetting, CostPair, AcceptablePool]:
     """The Phase 1a local search (regular optimization).
 
     Returns the best setting found, its cost, and the acceptable pool.
+    ``manager`` checkpoints at the top of every outer iteration;
+    ``restore`` (a previously checkpointed loop payload) re-enters the
+    loop exactly where the snapshot was taken.
     """
     config = evaluator.config
     wp = config.weights
     sp = config.search
     num_arcs = evaluator.network.num_arcs
 
-    current = WeightSetting.random(num_arcs, wp, rng)
-    cur_eval = evaluator.evaluate_normal(current)
-    cur_cost = cur_eval.cost
-    stats.evaluations += 1
-    best_setting = current.copy()
-    best_cost = cur_cost
+    if restore is None:
+        current = WeightSetting.random(num_arcs, wp, rng)
+        cur_eval = evaluator.evaluate_normal(current)
+        cur_cost = cur_eval.cost
+        stats.evaluations += 1
+        best_setting = current.copy()
+        best_cost = cur_cost
 
-    pool = AcceptablePool(
-        chi=config.sampling.chi, capacity=config.keep_acceptable_settings
-    )
-    pool.offer(current, cur_cost, best_cost)
+        pool = AcceptablePool(
+            chi=config.sampling.chi,
+            capacity=config.keep_acceptable_settings,
+        )
+        pool.offer(current, cur_cost, best_cost)
 
-    controller = DiversificationController(
-        interval=sp.phase1_diversification_interval,
-        min_rounds=sp.phase1_diversifications,
-        cutoff=sp.improvement_cutoff,
-        cap_factor=sp.round_iteration_cap_factor,
-    )
-    round_start_cost = best_cost
+        controller = DiversificationController(
+            interval=sp.phase1_diversification_interval,
+            min_rounds=sp.phase1_diversifications,
+            cutoff=sp.improvement_cutoff,
+            cap_factor=sp.round_iteration_cap_factor,
+        )
+        round_start_cost = best_cost
+    else:
+        (
+            current,
+            cur_cost,
+            best_setting,
+            best_cost,
+            pool,
+            controller,
+            round_start_cost,
+        ) = restore["loop"]
+        # The reuse hint is recomputed, not stored: re-evaluation is
+        # bit-identical (evaluator parity), and the checkpoint stays
+        # lean.  The counters already include this evaluation.
+        cur_eval = evaluator.evaluate_normal(current)
     sweep = max(1, round(sp.arcs_per_iteration_fraction * num_arcs))
 
     while stats.iterations < sp.max_iterations:
+        if manager is not None:
+            manager.tick(
+                "phase1a",
+                lambda: {
+                    "stage": "phase1a",
+                    "rng_state": rng.bit_generator.state,
+                    "stats": stats,
+                    "collector": collector,
+                    "loop": (
+                        current,
+                        cur_cost,
+                        best_setting,
+                        best_cost,
+                        pool,
+                        controller,
+                        round_start_cost,
+                    ),
+                },
+            )
         improved = False
         for arc in rng.permutation(num_arcs)[:sweep]:
             move = random_pair_move(current, int(arc), wp, rng)
@@ -259,6 +308,9 @@ def run_phase1b(
     pool: AcceptablePool,
     best_setting: WeightSetting,
     stats: SearchStats,
+    best_cost: "CostPair | None" = None,
+    manager: "CheckpointManager | None" = None,
+    restored_extra: "int | None" = None,
 ) -> int:
     """Generate extra failure-like samples until ranks converge.
 
@@ -275,14 +327,34 @@ def run_phase1b(
     results would differ between ``--jobs`` settings.  Within one batch
     the least-sampled ranking is not refreshed between draws — the store
     updates once per recorded batch.
+
+    ``manager`` checkpoints at the top of every batch (the boundary
+    state is the collector, the pool and the sample counter);
+    ``restored_extra`` re-enters mid-phase with that counter.
+    ``best_cost`` only rides along into checkpoint payloads so a resume
+    landing in Phase 1b can rebuild the Phase 1 result.
     """
     config = evaluator.config
     wp = config.weights
     cap = config.sampling.max_extra_samples
     bases = [r.setting for r in pool.best_first()] or [best_setting]
-    extra = 0
+    extra = restored_extra or 0
     candidates_per_draw = 8
     while collector.needs_more_samples and extra < cap:
+        if manager is not None:
+            manager.tick(
+                "phase1b",
+                lambda: {
+                    "stage": "phase1b",
+                    "rng_state": rng.bit_generator.state,
+                    "stats": stats,
+                    "collector": collector,
+                    "pool": pool,
+                    "best_setting": best_setting,
+                    "best_cost": best_cost,
+                    "extra": extra,
+                },
+            )
         draws: list[tuple[int, WeightSetting]] = []
         for _ in range(min(_SAMPLE_BATCH, cap - extra)):
             base = bases[int(rng.integers(0, len(bases)))]
@@ -308,18 +380,53 @@ def run_phase1(
     evaluator: DtrEvaluator,
     rng: np.random.Generator,
     critical_fraction: float | None = None,
+    manager: "CheckpointManager | None" = None,
+    restore: "dict | None" = None,
 ) -> Phase1Result:
-    """Run Phases 1a-1c and return the full Phase 1 result."""
+    """Run Phases 1a-1c and return the full Phase 1 result.
+
+    ``manager`` enables periodic/signal checkpoints; ``restore`` (a
+    checkpoint payload whose stage is ``"phase1a"`` or ``"phase1b"``)
+    resumes mid-phase with bit-identical downstream results.
+    """
     config = evaluator.config
     num_arcs = evaluator.network.num_arcs
-    stats = SearchStats()
-    collector = SampleCollector(config, num_arcs)
+    stage = restore.get("stage") if restore else None
+    if stage is None:
+        stats = SearchStats()
+        collector = SampleCollector(config, num_arcs)
+    else:
+        if stage not in ("phase1a", "phase1b"):
+            raise ValueError(f"cannot resume phase 1 from stage {stage!r}")
+        stats = restore["stats"]
+        collector = restore["collector"]
+        rng.bit_generator.state = restore["rng_state"]
 
-    best_setting, best_cost, pool = run_phase1a(
-        evaluator, rng, collector, stats
-    )
+    if stage in (None, "phase1a"):
+        best_setting, best_cost, pool = run_phase1a(
+            evaluator,
+            rng,
+            collector,
+            stats,
+            manager=manager,
+            restore=restore if stage == "phase1a" else None,
+        )
+        restored_extra = None
+    else:
+        best_setting = restore["best_setting"]
+        best_cost = restore["best_cost"]
+        pool = restore["pool"]
+        restored_extra = restore["extra"]
     extra = run_phase1b(
-        evaluator, rng, collector, pool, best_setting, stats
+        evaluator,
+        rng,
+        collector,
+        pool,
+        best_setting,
+        stats,
+        best_cost=best_cost,
+        manager=manager,
+        restored_extra=restored_extra,
     )
 
     estimate = estimate_criticality(collector.store, config.sampling)

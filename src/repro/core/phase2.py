@@ -31,6 +31,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.config import OptimizerConfig
+from repro.core.checkpoint import CheckpointManager
 from repro.core.evaluation import (
     DtrEvaluator,
     ScenarioCosts,
@@ -118,14 +119,19 @@ def _ordered_sweep(
     The ordering front-loads the expensive scenarios of the *incumbent*,
     which is the best available predictor of where a candidate's partial
     cost will exceed the bound.  The sweep goes through
-    ``evaluator.evaluate_failures`` so a parallel evaluator fans it out
-    across its worker pool; per-candidate *bounded* sweeps stay serial
+    ``evaluator.evaluate_scenario_costs`` — the costs-only sweep
+    contract: only per-scenario scalars come back (parallel workers fold
+    locally instead of shipping arrays), and repeat sweeps of the same
+    (setting, scenario set) are answered by the evaluator's sweep memo
+    without re-dispatching.  Per-candidate *bounded* sweeps stay serial
     because the lexicographic pruning is inherently sequential.
     """
     if reuse is None:
         reuse = evaluator.evaluate_normal(setting)
         stats.evaluations += 1
-    evaluation = evaluator.evaluate_scenarios(setting, failures, reuse=reuse)
+    evaluation = evaluator.evaluate_scenario_costs(
+        setting, failures, reuse=reuse
+    )
     stats.evaluations += len(evaluation)
     costs = []
     lam = 0.0
@@ -167,6 +173,9 @@ def run_phase2(
     starts: tuple[RecordedSetting, ...],
     constraints: RobustConstraints,
     rng: np.random.Generator,
+    manager: "CheckpointManager | None" = None,
+    context: "dict | None" = None,
+    restore: "dict | None" = None,
 ) -> Phase2Result:
     """Run the robust local search.
 
@@ -180,6 +189,13 @@ def run_phase2(
             non-empty.
         constraints: the Eq. (5)-(6) constraints.
         rng: random generator.
+        manager: checkpoint at the top of every outer iteration.
+        context: extra payload merged into every checkpoint (the
+            optimizer stores its Phase 1 result here so a Phase 2
+            checkpoint is self-contained).
+        restore: a ``"phase2"``-stage checkpoint payload to re-enter
+            from; the resumed search is bit-identical to one that never
+            stopped.
 
     Returns:
         The robust setting and its evaluations.
@@ -193,29 +209,71 @@ def run_phase2(
     wp = config.weights
     sp = config.search
     num_arcs = evaluator.network.num_arcs
-    stats = SearchStats()
 
-    current = starts[0].setting.copy()
-    cur_normal_eval = evaluator.evaluate_normal(current)
-    cur_normal = cur_normal_eval.cost
-    stats.evaluations += 1
-    ordered, cur_kfail = _ordered_sweep(
-        evaluator, current, failures, stats, reuse=cur_normal_eval
-    )
-    best_setting = current.copy()
-    best_kfail = cur_kfail
+    if restore is None:
+        stats = SearchStats()
+        current = starts[0].setting.copy()
+        cur_normal_eval = evaluator.evaluate_normal(current)
+        cur_normal = cur_normal_eval.cost
+        stats.evaluations += 1
+        ordered, cur_kfail = _ordered_sweep(
+            evaluator, current, failures, stats, reuse=cur_normal_eval
+        )
+        best_setting = current.copy()
+        best_kfail = cur_kfail
 
-    controller = DiversificationController(
-        interval=sp.phase2_diversification_interval,
-        min_rounds=sp.phase2_diversifications,
-        cutoff=sp.improvement_cutoff,
-        cap_factor=sp.round_iteration_cap_factor,
-    )
-    round_start_cost = best_kfail
+        controller = DiversificationController(
+            interval=sp.phase2_diversification_interval,
+            min_rounds=sp.phase2_diversifications,
+            cutoff=sp.improvement_cutoff,
+            cap_factor=sp.round_iteration_cap_factor,
+        )
+        round_start_cost = best_kfail
+        next_start = 1
+    else:
+        if restore.get("stage") != "phase2":
+            raise ValueError(
+                f"cannot resume phase 2 from stage {restore.get('stage')!r}"
+            )
+        stats = restore["stats"]
+        rng.bit_generator.state = restore["rng_state"]
+        (
+            current,
+            cur_kfail,
+            best_setting,
+            best_kfail,
+            controller,
+            round_start_cost,
+            next_start,
+            ordered,
+        ) = restore["loop"]
+        # Recomputed, not stored (bit-identical by evaluator parity);
+        # the checkpointed counters already account for it.
+        cur_normal_eval = evaluator.evaluate_normal(current)
+        cur_normal = cur_normal_eval.cost
     sweep = max(1, round(sp.arcs_per_iteration_fraction * num_arcs))
-    next_start = 1
 
     while stats.iterations < sp.max_iterations:
+        if manager is not None:
+            manager.tick(
+                "phase2",
+                lambda: {
+                    "stage": "phase2",
+                    "rng_state": rng.bit_generator.state,
+                    "stats": stats,
+                    "loop": (
+                        current,
+                        cur_kfail,
+                        best_setting,
+                        best_kfail,
+                        controller,
+                        round_start_cost,
+                        next_start,
+                        ordered,
+                    ),
+                    **(context or {}),
+                },
+            )
         improved = False
         for arc in rng.permutation(num_arcs)[:sweep]:
             move = random_phase2_move(current, int(arc), wp, rng)

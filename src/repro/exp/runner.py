@@ -22,10 +22,21 @@ import dataclasses
 import importlib
 import sys
 import time
+from pathlib import Path
 from typing import Callable
 
-from repro.exp.common import ExperimentResult
+from repro.core.checkpoint import OptimizerInterrupted
+from repro.exp.common import (
+    ArmControl,
+    ExperimentResult,
+    ShardSpec,
+    set_arm_control,
+)
 from repro.exp.presets import get_preset
+
+#: Exit code of a run stopped by SIGINT/SIGTERM after writing its
+#: checkpoint (EX_TEMPFAIL: rerun with ``--resume`` to continue).
+EXIT_INTERRUPTED = 75
 
 #: Registered experiment ids: paper artifacts in paper order, then the
 #: supporting/extension experiments (Sections IV-C, V-B, V-F footnote 16,
@@ -180,6 +191,59 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--shard",
+        default=None,
+        metavar="i/N",
+        help=(
+            "compute only every Nth optimization arm (1-based shard i "
+            "of N); other arms return deferred placeholders.  Combine "
+            "with --arm-store and a merge run to reassemble the full "
+            "result bit-identically"
+        ),
+    )
+    parser.add_argument(
+        "--arm-store",
+        default=None,
+        metavar="DIR",
+        help=(
+            "directory of per-arm result artifacts: computed arms are "
+            "saved there, present artifacts are loaded instead of "
+            "recomputed (the merge mechanism for sharded runs)"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "write per-arm optimizer checkpoints here (periodic and on "
+            "SIGINT/SIGTERM); an interrupted run exits with code "
+            f"{EXIT_INTERRUPTED}"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume each arm from its checkpoint in --checkpoint-dir "
+            "when present (bit-identical to an uninterrupted run)"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=25,
+        metavar="K",
+        help="iterations between periodic checkpoint writes (default 25)",
+    )
+    parser.add_argument(
+        "--interrupt-after",
+        type=int,
+        default=None,
+        metavar="N",
+        help=argparse.SUPPRESS,  # CI/testing hook: SIGTERM at tick N
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list experiment ids"
     )
     args = parser.parse_args(argv)
@@ -188,6 +252,18 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--jobs must be >= 0 (0 = one worker per CPU)")
     if args.scenarios is not None and args.experiment != "scenarios":
         parser.error("--scenarios only applies to the 'scenarios' experiment")
+    if args.resume and args.checkpoint_dir is None:
+        parser.error("--resume requires --checkpoint-dir")
+    if args.interrupt_after is not None and args.checkpoint_dir is None:
+        parser.error("--interrupt-after requires --checkpoint-dir")
+    if args.checkpoint_every < 1:
+        parser.error("--checkpoint-every must be >= 1")
+    shard = None
+    if args.shard is not None:
+        try:
+            shard = ShardSpec.parse(args.shard)
+        except ValueError as exc:
+            parser.error(str(exc))
 
     if args.list or not args.experiment:
         print("available experiments:")
@@ -195,23 +271,59 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {experiment_id}")
         return 0
 
+    control = None
+    if (
+        shard is not None
+        or args.arm_store is not None
+        or args.checkpoint_dir is not None
+    ):
+        control = ArmControl(
+            shard=shard,
+            store=Path(args.arm_store) if args.arm_store else None,
+            checkpoint_dir=(
+                Path(args.checkpoint_dir) if args.checkpoint_dir else None
+            ),
+            resume=args.resume,
+            checkpoint_every=args.checkpoint_every,
+            interrupt_after=args.interrupt_after,
+        )
+
     targets = (
         list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     )
-    for experiment_id in targets:
-        start = time.perf_counter()
-        result = run_experiment(
-            experiment_id,
-            preset=args.preset,
-            seed=args.seed,
-            jobs=args.jobs,
-            backend=args.backend,
-            sweep_batch=args.sweep_batch,
-            scenarios=args.scenarios,
-        )
-        elapsed = time.perf_counter() - start
-        print(result.render())
-        print(f"\n[{experiment_id} finished in {elapsed:.1f}s]\n")
+    previous = set_arm_control(control)
+    try:
+        for experiment_id in targets:
+            if control is not None:
+                control.reset(experiment_id)
+            start = time.perf_counter()
+            try:
+                result = run_experiment(
+                    experiment_id,
+                    preset=args.preset,
+                    seed=args.seed,
+                    jobs=args.jobs,
+                    backend=args.backend,
+                    sweep_batch=args.sweep_batch,
+                    scenarios=args.scenarios,
+                )
+            except OptimizerInterrupted as interrupted:
+                print(
+                    f"[{experiment_id} interrupted; checkpoint saved to "
+                    f"{interrupted.path}; rerun with --resume to continue]"
+                )
+                return EXIT_INTERRUPTED
+            elapsed = time.perf_counter() - start
+            print(result.render())
+            if control is not None:
+                print(
+                    f"[arms: computed={len(control.computed)} "
+                    f"loaded={len(control.loaded)} "
+                    f"deferred={len(control.deferred)}]"
+                )
+            print(f"\n[{experiment_id} finished in {elapsed:.1f}s]\n")
+    finally:
+        set_arm_control(previous)
     return 0
 
 

@@ -424,3 +424,96 @@ class TestPoolKeying:
             candidate = parallel.evaluate_failures(isp_setting, failures)
             assert parallel._pool is not pool
         _assert_bit_identical(reference, candidate)
+
+
+# ----------------------------------------------------------------------
+# shared-memory lifecycle under signals and interpreter exit
+# ----------------------------------------------------------------------
+class TestSweepStateCleanup:
+    def test_live_registry_tracks_states(self):
+        from repro.core.parallel import (
+            SharedSweepState,
+            _LIVE_SWEEP_STATES,
+        )
+
+        state = SharedSweepState((np.arange(4.0),))
+        assert state in _LIVE_SWEEP_STATES
+        state.dispose()
+        assert state not in _LIVE_SWEEP_STATES
+        state.dispose()  # idempotent
+
+    def test_dispose_live_sweep_states_unlinks(self):
+        from multiprocessing import shared_memory
+
+        from repro.core.parallel import (
+            SharedSweepState,
+            _dispose_live_sweep_states,
+        )
+
+        state = SharedSweepState((np.arange(8.0),))
+        name = state.name
+        _dispose_live_sweep_states()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_sigterm_unlinks_shared_memory(self, tmp_path):
+        """A SIGTERM'd process must not leak its shm block: the cleanup
+        handler unlinks live states, then re-delivers the signal."""
+        import signal
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        name_file = tmp_path / "name.txt"
+        code = (
+            "import os, signal\n"
+            "import numpy as np\n"
+            "from repro.core.parallel import SharedSweepState\n"
+            "state = SharedSweepState((np.arange(16.0),))\n"
+            f"open({str(name_file)!r}, 'w').write(state.name)\n"
+            "os.kill(os.getpid(), signal.SIGTERM)\n"
+            "raise SystemExit('unreachable: SIGTERM did not fire')\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env={
+                "PYTHONPATH": str(
+                    Path(__file__).resolve().parents[2] / "src"
+                ),
+                "PATH": "/usr/bin:/bin",
+            },
+        )
+        # Died by SIGTERM (the handler re-raises with SIG_DFL)...
+        assert proc.returncode == -signal.SIGTERM, proc.stderr
+        # ...and the block it owned is gone.
+        from multiprocessing import shared_memory
+
+        name = name_file.read_text()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_handler_defers_to_existing_sigterm_handler(self):
+        """When another SIGTERM handler is already installed (e.g. the
+        CheckpointManager's), the cleanup must not displace it."""
+        import signal
+        import threading
+
+        import repro.core.parallel as par
+
+        if threading.current_thread() is not threading.main_thread():
+            pytest.skip("signal handling requires the main thread")
+        sentinel = lambda signum, frame: None  # noqa: E731
+        previous = signal.signal(signal.SIGTERM, sentinel)
+        installed_flag = par._SWEEP_CLEANUP_INSTALLED
+        try:
+            par._SWEEP_CLEANUP_INSTALLED = False
+            state = par.SharedSweepState((np.arange(4.0),))
+            try:
+                assert signal.getsignal(signal.SIGTERM) is sentinel
+            finally:
+                state.dispose()
+        finally:
+            par._SWEEP_CLEANUP_INSTALLED = installed_flag
+            signal.signal(signal.SIGTERM, previous)

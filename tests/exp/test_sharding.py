@@ -1,0 +1,170 @@
+"""Arm sharding: deterministic partition, stubs, artifact merge parity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exp.common import (
+    ArmControl,
+    ShardSpec,
+    _arm_key,
+    make_instance,
+    run_arms,
+    set_arm_control,
+)
+
+
+@pytest.fixture
+def instances():
+    return [make_instance("rand", 10, 4.0, seed=s) for s in (0, 1)]
+
+
+def run_sequence(control, instances, config):
+    previous = set_arm_control(control)
+    try:
+        return [
+            run_arms(instance, config, seed=index)
+            for index, instance in enumerate(instances)
+        ]
+    finally:
+        set_arm_control(previous)
+
+
+# ----------------------------------------------------------------------
+# the partition itself
+# ----------------------------------------------------------------------
+def test_shard_spec_parse():
+    spec = ShardSpec.parse("2/3")
+    assert (spec.index, spec.count) == (1, 3)
+    assert ShardSpec.parse("1/1") == ShardSpec(0, 1)
+    for bad in ("0/2", "3/2", "a/b", "2", "2/"):
+        with pytest.raises(ValueError):
+            ShardSpec.parse(bad)
+
+
+@pytest.mark.parametrize("count", [1, 2, 3, 5])
+def test_partition_exhaustive_and_disjoint(count):
+    """Every arm is owned by exactly one shard, for any shard count."""
+    shards = [ShardSpec(i, count) for i in range(count)]
+    for seq in range(20):
+        owners = [s for s in shards if s.owns(seq)]
+        assert len(owners) == 1
+        assert owners[0].index == seq % count
+
+
+def test_deferred_arm_returns_stub(instances, tiny_config):
+    """A non-owned arm costs no optimization: the stub comes back
+    immediately, marked deferred, with uniform weights."""
+    control = ArmControl(shard=ShardSpec.parse("2/2"))
+    result = run_sequence(control, instances[:1], tiny_config)[0]
+    assert result.deferred
+    assert np.all(result.robust_setting.delay == 1)
+    assert np.all(result.robust_setting.tput == 1)
+    assert len(result.all_failures) == 0
+    assert control.deferred and not control.computed
+
+
+def test_arm_keys_are_deterministic(instances, tiny_config):
+    control_a = ArmControl(namespace="t")
+    control_b = ArmControl(namespace="t")
+    keys = [
+        _arm_key(c, 0, instances[0], tiny_config, 0, None, False, None)
+        for c in (control_a, control_b)
+    ]
+    assert keys[0] == keys[1]
+    assert keys[0].startswith("t-000-")
+    changed_seed = _arm_key(
+        control_a, 0, instances[0], tiny_config, 1, None, False, None
+    )
+    assert changed_seed != keys[0]
+    changed_instance = _arm_key(
+        control_a, 0, instances[1], tiny_config, 0, None, False, None
+    )
+    assert changed_instance != keys[0]
+
+
+# ----------------------------------------------------------------------
+# artifact store + merge
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+def test_sharded_merge_is_bit_identical(tmp_path, instances, tiny_config):
+    """Shards computed independently (in either order), merged through
+    the artifact store, reproduce the unsharded results bitwise."""
+    reference = run_sequence(ArmControl(), instances, tiny_config)
+
+    store = tmp_path / "store"
+    # Compute shard 2 BEFORE shard 1: the merge must not care about
+    # artifact arrival order.
+    for spec in ("2/2", "1/2"):
+        control = ArmControl(shard=ShardSpec.parse(spec), store=store)
+        run_sequence(control, instances, tiny_config)
+        assert len(control.computed) + len(control.loaded) + len(
+            control.deferred
+        ) == len(instances)
+
+    merge_control = ArmControl(store=store)
+    merged = run_sequence(merge_control, instances, tiny_config)
+    assert merge_control.computed == []
+    assert merge_control.deferred == []
+    assert len(merge_control.loaded) == len(instances)
+    for got, want in zip(merged, reference):
+        assert not got.deferred
+        assert np.array_equal(
+            got.robust_setting.delay, want.robust_setting.delay
+        )
+        assert np.array_equal(
+            got.robust_setting.tput, want.robust_setting.tput
+        )
+        assert np.array_equal(
+            got.regular_setting.delay, want.regular_setting.delay
+        )
+        assert got.phase2.best_kfail == want.phase2.best_kfail
+        assert got.phase1.best_cost == want.phase1.best_cost
+
+
+@pytest.mark.slow
+def test_store_loads_instead_of_recomputing(
+    tmp_path, instances, tiny_config
+):
+    store = tmp_path / "store"
+    first = ArmControl(store=store)
+    results = run_sequence(first, instances[:1], tiny_config)
+    assert len(first.computed) == 1
+
+    second = ArmControl(store=store)
+    again = run_sequence(second, instances[:1], tiny_config)
+    assert second.loaded == first.computed
+    assert second.computed == []
+    assert again[0].phase2.best_kfail == results[0].phase2.best_kfail
+
+
+@pytest.mark.slow
+def test_checkpointed_arm_resumes_through_run_arms(
+    tmp_path, instances, tiny_config
+):
+    """run_arms threads checkpoint/resume into the optimizer: an
+    interrupted arm resumes to the bit-identical result."""
+    from repro.core.checkpoint import OptimizerInterrupted
+
+    reference = run_sequence(ArmControl(), instances[:1], tiny_config)[0]
+
+    ck_dir = tmp_path / "ck"
+    interrupt = ArmControl(
+        checkpoint_dir=ck_dir, checkpoint_every=3, interrupt_after=8
+    )
+    with pytest.raises(OptimizerInterrupted):
+        run_sequence(interrupt, instances[:1], tiny_config)
+    assert list(ck_dir.glob("*.ckpt"))
+
+    resume = ArmControl(
+        checkpoint_dir=ck_dir, checkpoint_every=3, resume=True
+    )
+    resumed = run_sequence(resume, instances[:1], tiny_config)[0]
+    assert np.array_equal(
+        resumed.robust_setting.delay, reference.robust_setting.delay
+    )
+    assert np.array_equal(
+        resumed.robust_setting.tput, reference.robust_setting.tput
+    )
+    assert resumed.phase2.best_kfail == reference.phase2.best_kfail
