@@ -46,6 +46,7 @@ from bench_schema import bench_payload, write_payload
 from repro.config import ExecutionParams, OptimizerConfig
 from repro.core.evaluation import DtrEvaluator
 from repro.core.parallel import ParallelDtrEvaluator
+from repro.core.resilience import global_stats
 from repro.core.weights import WeightSetting
 from repro.routing.backend import SWEEP_BATCH_MIN_SCENARIOS
 from repro.routing.failures import single_link_failures
@@ -291,6 +292,10 @@ def main(argv: list[str] | None = None) -> int:
             "sweep_batch_min_scenarios": SWEEP_BATCH_MIN_SCENARIOS,
             "shm_speedup_vs_process": round(shm_speedup, 2),
             "parity": parity and cross_parity,
+            # Supervisor counters across every sweep of this run: all
+            # zero on a healthy box; nonzero values flag that measured
+            # rates include retry/degradation overhead.
+            "resilience_stats": global_stats().as_dict(),
         },
     )
     write_payload(args.out, payload)

@@ -20,7 +20,11 @@ import dataclasses
 import os
 from dataclasses import dataclass
 
-from repro.routing.backend import validate_backend, validate_sweep_batching
+from repro.routing.backend import (
+    validate_backend,
+    validate_resilience,
+    validate_sweep_batching,
+)
 
 
 @dataclass(frozen=True)
@@ -255,6 +259,25 @@ class ExecutionParams:
             per-scenario path.  Requires ``incremental_routing``;
             bit-identical to the per-scenario path on integer-weight
             instances either way.
+        max_retries: extra dispatch attempts per parallel sweep task
+            after a worker failure (crash, raise, timeout) before the
+            task is quarantined to the serial in-process path; 0
+            quarantines on first failure.  Like every execution knob
+            this is cost-neutral: degraded tasks produce bit-identical
+            results (see docs/RESILIENCE.md).
+        retry_backoff: base seconds of exponential backoff between
+            dispatch attempts (deterministic jitter; 0 retries
+            immediately).
+        task_timeout: per-task deadline in seconds; a task exceeding
+            it counts as failed (and the pool, possibly holding a
+            wedged worker, is recycled).  None disables.
+        sweep_deadline: whole-sweep deadline in seconds; once
+            exhausted the rest of the sweep degrades to the serial
+            path so it still completes.  None disables.
+        fault_plan: deterministic fault-injection plan
+            (:class:`repro.core.faults.FaultPlan`) installed in the
+            pool workers — chaos testing only; None (always, outside
+            tests) injects nothing.
     """
 
     n_jobs: int = 1
@@ -265,6 +288,11 @@ class ExecutionParams:
     incremental_routing: bool = True
     routing_backend: str = "auto"
     sweep_batching: str = "auto"
+    max_retries: int = 2
+    retry_backoff: float = 0.05
+    task_timeout: float | None = None
+    sweep_deadline: float | None = None
+    fault_plan: "object | None" = None
 
     def __post_init__(self) -> None:
         if self.n_jobs < 0:
@@ -292,6 +320,22 @@ class ExecutionParams:
                 "routing_backend='python' (the batch engine runs the "
                 "vector kernels; use 'auto' for either knob)"
             )
+        validate_resilience(
+            self.max_retries,
+            self.retry_backoff,
+            self.task_timeout,
+            self.sweep_deadline,
+        )
+        if self.fault_plan is not None:
+            # Deferred import: repro.core pulls this module in during
+            # its own initialization, and the default (None) plan —
+            # every non-chaos construction — must not re-enter it.
+            from repro.core.faults import FaultPlan
+
+            if not isinstance(self.fault_plan, FaultPlan):
+                raise ValueError(
+                    "fault_plan must be a repro.core.faults.FaultPlan"
+                )
 
     @property
     def resolved_jobs(self) -> int:

@@ -8,6 +8,13 @@ from repro.core.evaluation import (
     ScenarioCosts,
     ScenarioEvaluation,
 )
+from repro.core.faults import (
+    FaultInjected,
+    FaultPlan,
+    StageFault,
+    TaskDelay,
+    WorkerKill,
+)
 from repro.core.fortz import fortz_cost, fortz_link_cost
 from repro.core.lexicographic import CostPair, relative_improvement
 from repro.core.optimizer import RobustDtrOptimizer, RobustRoutingResult
@@ -19,6 +26,12 @@ from repro.core.parallel import (
     make_evaluator,
 )
 from repro.core.phase1 import Phase1Result, run_phase1
+from repro.core.resilience import (
+    ResilienceStats,
+    RetryPolicy,
+    global_stats,
+    reset_global_stats,
+)
 from repro.core.phase2 import (
     Phase2Result,
     RobustConstraints,
@@ -39,11 +52,18 @@ __all__ = [
     "CriticalityEstimate",
     "DtrEvaluator",
     "FailureEvaluation",
+    "FaultInjected",
+    "FaultPlan",
     "ParallelDtrEvaluator",
+    "ResilienceStats",
+    "RetryPolicy",
     "RoutingCache",
     "Phase1Result",
     "Phase2Result",
     "RobustConstraints",
+    "StageFault",
+    "TaskDelay",
+    "WorkerKill",
     "RobustDtrOptimizer",
     "RobustRoutingResult",
     "ScenarioCosts",
@@ -55,7 +75,9 @@ __all__ = [
     "estimate_criticality",
     "fortz_cost",
     "fortz_link_cost",
+    "global_stats",
     "make_evaluator",
+    "reset_global_stats",
     "queueing_delay_at",
     "relative_improvement",
     "run_phase1",

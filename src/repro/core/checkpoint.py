@@ -34,6 +34,7 @@ kill can never tear a half-written state file.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import os
 import pickle
@@ -120,9 +121,34 @@ def config_fingerprint(
     return _sha1("|".join(parts))
 
 
+#: Execution knobs excluded from the resume-compatibility fingerprint:
+#: the resilience layer (retry budgets, deadlines, chaos plans) never
+#: changes computed values, and the canonical recovery from a crashed
+#: run is precisely "resume with *different* retry knobs".
+_RESILIENCE_KNOBS = frozenset(
+    {
+        "max_retries",
+        "retry_backoff",
+        "task_timeout",
+        "sweep_deadline",
+        "fault_plan",
+    }
+)
+
+
 def execution_fingerprint(execution: ExecutionParams) -> str:
-    """Fingerprint of the execution knobs (``repr`` is deterministic)."""
-    return _sha1(repr(execution))
+    """Fingerprint of the execution knobs (``repr`` is deterministic).
+
+    Resilience knobs are excluded (see :data:`_RESILIENCE_KNOBS`), so a
+    run that crashed or degraded can be resumed under a stricter — or
+    laxer — retry policy without tripping the compatibility check.
+    """
+    parts = [
+        f"{f.name}={getattr(execution, f.name)!r}"
+        for f in dataclasses.fields(execution)
+        if f.name not in _RESILIENCE_KNOBS
+    ]
+    return _sha1("|".join(parts))
 
 
 def instance_fingerprint(network: Network, traffic: DtrTraffic) -> str:

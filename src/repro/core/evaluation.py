@@ -768,6 +768,20 @@ class DtrEvaluator:
                 self._sweep_memo_hits, self._sweep_memo_misses
             )
 
+    @property
+    def resilience_stats(self) -> "ResilienceStats":
+        """Failure/retry/degradation counters (``cache_stats`` style).
+
+        The serial oracle dispatches nothing, so its counters are
+        always zero; :class:`~repro.core.parallel.ParallelDtrEvaluator`
+        overrides this with its supervisor's live counters.  Exposed
+        here so callers can report resilience uniformly across
+        evaluator kinds.
+        """
+        from repro.core.resilience import ResilienceStats
+
+        return ResilienceStats()
+
     def evaluate_scenario_costs(
         self,
         setting: WeightSetting,

@@ -76,12 +76,21 @@ from multiprocessing import shared_memory
 import numpy as np
 
 from repro.config import ExecutionParams, OptimizerConfig
+from repro.core import faults
 from repro.core.evaluation import (
     DtrEvaluator,
     ScenarioCosts,
     ScenarioEvaluation,
     Scenarios,
     compact_evaluation,
+)
+from repro.core.resilience import (
+    ResilienceCounters,
+    ResilienceStats,
+    RetryPolicy,
+    SupervisedTask,
+    SweepSupervisor,
+    global_counters,
 )
 from repro.core.weights import WeightSetting
 from repro.routing.engine import ClassRouting, RoutingEngine
@@ -351,11 +360,39 @@ def _init_worker(
     config: OptimizerConfig,
     delay_mode: str,
 ) -> None:
-    """Build the per-process evaluator once; its cache outlives tasks."""
+    """Build the per-process evaluator once; its cache outlives tasks.
+
+    Also installs the execution's fault plan (chaos testing) — workers
+    only, so the parent's serial fallback path always computes clean.
+    """
     global _WORKER_EVALUATOR
     _WORKER_EVALUATOR = CachingDtrEvaluator(
         network, traffic, config, delay_mode
     )
+    faults.install_fault_plan(config.execution.fault_plan)
+    # Under fork the worker inherits the parent's live-sweep registry
+    # and its SIGTERM/atexit cleanup hooks.  A pool (re)built while a
+    # sweep state is live — routine once the supervisor rebuilds pools
+    # mid-sweep — would otherwise let a terminating worker *unlink the
+    # parent's block*, failing every ticket still to be dispatched.
+    # The worker owns none of these states: forget them, never dispose.
+    _LIVE_SWEEP_STATES.clear()
+
+
+def _supervised_task(fn, task_seq: int, attempt: int, /, *args):
+    """Run one dispatched task inside its fault context (worker side).
+
+    Every process-pool submission goes through this wrapper so the
+    deterministic fault registry (:mod:`repro.core.faults`) can key
+    kill/delay/raise faults on ``(task_seq, attempt)``.  With no plan
+    installed — every production run — it is a try/finally around the
+    task function.
+    """
+    faults.enter_task(task_seq, attempt)
+    try:
+        return fn(*args)
+    finally:
+        faults.exit_task()
 
 
 def _strip_routings(evaluation: ScenarioEvaluation) -> ScenarioEvaluation:
@@ -409,6 +446,11 @@ def _worker_sweep(
 # ----------------------------------------------------------------------
 #: Alignment of buffers inside a shared-memory block (numpy-friendly).
 _SHM_ALIGN = 64
+
+#: Upper bound on waiting for straggler tickets before a sweep's shm
+#: block is unlinked anyway (unlink-while-attached is safe; see
+#: :meth:`ParallelDtrEvaluator._process_sweep_shared`).
+_DISPOSE_SETTLE_TIMEOUT = 10.0
 
 
 def _aligned(offset: int) -> int:
@@ -529,11 +571,17 @@ _SWEEP_CLEANUP_INSTALLED = False
 
 
 def _dispose_live_sweep_states() -> None:
-    """Unlink every still-live sweep block (idempotent, best-effort)."""
+    """Unlink every still-live sweep block (idempotent, best-effort).
+
+    Only OS-level disposal failures are swallowed (the block may be
+    half-gone already during interpreter teardown); anything else —
+    and in particular ``KeyboardInterrupt``/``SystemExit`` — must
+    propagate.
+    """
     for state in list(_LIVE_SWEEP_STATES):
         try:
             state.dispose()
-        except Exception:  # pragma: no cover - teardown best effort
+        except (OSError, BufferError):  # pragma: no cover - teardown
             pass
 
 
@@ -649,6 +697,22 @@ def _worker_normal_batch(
     )
 
 
+def _shutdown_pool(pool: Executor, wait: bool = True) -> None:
+    """Shut an executor down, tolerating one that is already broken.
+
+    A pool whose workers were SIGKILLed (``BrokenProcessPool``) must
+    still shut down cleanly — ``close()``/``set_execution()`` on a
+    crashed evaluator cannot be allowed to raise.  With ``wait=False``
+    queued tasks are cancelled too (used when recycling a *suspect*
+    pool that may hold a wedged worker).  Only pool-teardown failures
+    are swallowed; ``KeyboardInterrupt``/``SystemExit`` propagate.
+    """
+    try:
+        pool.shutdown(wait=wait, cancel_futures=not wait)
+    except (OSError, RuntimeError):  # pragma: no cover - best effort
+        pass
+
+
 class ParallelDtrEvaluator(CachingDtrEvaluator):
     """Cost oracle that sweeps failure sets across a worker pool.
 
@@ -687,6 +751,8 @@ class ParallelDtrEvaluator(CachingDtrEvaluator):
         self._pool_key: tuple[str, int] | None = None
         self._pool_lock = threading.Lock()
         self._worker_stats: dict[int, CacheStats] = {}
+        self._resilience = ResilienceCounters(mirror=global_counters())
+        self._retry_policy = RetryPolicy.from_execution(execution)
 
     # ------------------------------------------------------------------
     @property
@@ -710,11 +776,19 @@ class ParallelDtrEvaluator(CachingDtrEvaluator):
         """
         stale: Executor | None = None
         with self._pool_lock:
+            # Resilience knobs live parent-side (the supervisor reads
+            # them per sweep): retuning them keeps the warm pool.  The
+            # fault plan is NOT excluded — it is baked into workers by
+            # the pool initializer, so changing it rebuilds the pool.
             workers_config = replace(
                 execution,
                 n_jobs=self._config.execution.n_jobs,
                 executor=self._config.execution.executor,
                 chunk_size=self._config.execution.chunk_size,
+                max_retries=self._config.execution.max_retries,
+                retry_backoff=self._config.execution.retry_backoff,
+                task_timeout=self._config.execution.task_timeout,
+                sweep_deadline=self._config.execution.sweep_deadline,
             )
             workers_changed = workers_config != self._config.execution
             engine_changed = (
@@ -728,6 +802,7 @@ class ParallelDtrEvaluator(CachingDtrEvaluator):
             self._chunk_size = execution.chunk_size
             self._sweep_batching = execution.sweep_batching
             self._incremental = execution.incremental_routing
+            self._retry_policy = RetryPolicy.from_execution(execution)
             # The parent-side cache must adopt the new knobs too (small
             # sweeps and normal evaluations run here, not in workers) —
             # but only a cache-knob change warrants dropping the warm
@@ -765,7 +840,10 @@ class ParallelDtrEvaluator(CachingDtrEvaluator):
             for sibling in siblings:
                 sibling.close()
         if stale is not None:
-            stale.shutdown(wait=True)
+            # Tolerates a pool already broken by worker deaths: adopting
+            # new knobs after a crash must not raise, and the next
+            # parallel call lazily rebuilds.
+            _shutdown_pool(stale)
 
     @property
     def cache_stats(self) -> CacheStats:
@@ -775,12 +853,22 @@ class ParallelDtrEvaluator(CachingDtrEvaluator):
             total = total + stats
         return total
 
+    @property
+    def resilience_stats(self) -> ResilienceStats:
+        """Failure/retry/degradation counters of this evaluator's sweeps."""
+        return self._resilience.snapshot()
+
     def close(self) -> None:
-        """Shut down the worker pool and sibling oracles (idempotent)."""
+        """Shut down the worker pool and sibling oracles (idempotent).
+
+        Safe on a broken pool (SIGKILLed workers): teardown failures of
+        the executor are swallowed so callers' ``finally`` blocks never
+        mask the original error.
+        """
         with self._pool_lock:
             pool, self._pool = self._pool, None
         if pool is not None:
-            pool.shutdown(wait=True)
+            _shutdown_pool(pool)
         super().close()
 
     def __enter__(self) -> "ParallelDtrEvaluator":
@@ -790,9 +878,12 @@ class ParallelDtrEvaluator(CachingDtrEvaluator):
         self.close()
 
     def __del__(self) -> None:
+        # Interpreter-teardown finalizer: only plausible teardown noise
+        # is swallowed — KeyboardInterrupt/SystemExit (or anything else
+        # unexpected) propagates instead of being silently eaten.
         try:
             self.close()
-        except Exception:
+        except (OSError, RuntimeError):
             pass
 
     # ------------------------------------------------------------------
@@ -851,6 +942,104 @@ class ParallelDtrEvaluator(CachingDtrEvaluator):
         self, pid: int, counters: tuple[int, int, int]
     ) -> None:
         self._worker_stats[pid] = CacheStats(*counters)
+
+    # ------------------------------------------------------------------
+    # supervision: retry/backoff, pool rebuild, serial degradation
+    # ------------------------------------------------------------------
+    def _reset_pool(self) -> None:
+        """Discard a dead or suspect pool; the next call rebuilds it.
+
+        The stale executor is shut down without waiting (a wedged
+        worker must not block the supervisor) and queued tasks are
+        cancelled.  Dead workers' last-reported cache counters are
+        kept — the work they completed happened.  Rebuild goes through
+        :meth:`_ensure_pool`, i.e. the same warm-state machinery as a
+        first build.
+        """
+        with self._pool_lock:
+            stale, self._pool = self._pool, None
+        if stale is not None:
+            _shutdown_pool(stale, wait=False)
+
+    def _supervise(self, tasks: "list[SupervisedTask]") -> list:
+        """Run tickets under the retry/degradation supervisor."""
+        supervisor = SweepSupervisor(
+            policy=self._retry_policy,
+            counters=self._resilience,
+            ensure_pool=self._ensure_pool,
+            reset_pool=self._reset_pool,
+        )
+        return supervisor.run(tasks)
+
+    def _collect(self, results: list) -> list[ScenarioEvaluation]:
+        """Fold supervised task results in task (= scenario) order.
+
+        Serial-fallback results carry no pid/counters (the parent's own
+        cache counters are already in :attr:`cache_stats`); recording
+        them would double-count, so they are skipped.
+        """
+        outcomes: list[ScenarioEvaluation] = []
+        for chunk_outcomes, pid, counters in results:
+            outcomes.extend(chunk_outcomes)
+            if pid is not None:
+                self._record_worker_stats(pid, counters)
+        return outcomes
+
+    def _serial_ticket(
+        self,
+        setting: WeightSetting,
+        items: "list[FailureScenario | Scenario]",
+        reuse: ScenarioEvaluation | None,
+        costs_only: bool,
+        batched: bool,
+    ) -> tuple[list[ScenarioEvaluation], None, None]:
+        """One quarantined/degraded ticket on the in-process serial path.
+
+        Mirrors the worker task exactly (batched slice sweep for shm
+        tickets, per-scenario evaluation for by-value chunks), so the
+        result is bit-identical to a successful dispatch — the parity
+        the whole resilience layer rests on.  The evaluation counter is
+        restored because the sweep caller accounts ``len(items)`` once
+        for the whole sweep, dispatched or not.
+        """
+        fold = compact_evaluation if costs_only else _strip_routings
+        before = self._num_evaluations
+        try:
+            if batched:
+                costs = DtrEvaluator.evaluate_scenarios(
+                    self, setting, list(items), reuse=reuse
+                )
+                outcomes = [fold(e) for e in costs.evaluations]
+            else:
+                outcomes = [
+                    fold(self.evaluate(setting, s, reuse=reuse))
+                    for s in items
+                ]
+        finally:
+            self._num_evaluations = before
+        return (outcomes, None, None)
+
+    def _make_task(
+        self,
+        seq: int,
+        fn,
+        args: tuple,
+        fallback,
+        sink: "list | None" = None,
+    ) -> SupervisedTask:
+        """A supervised ticket: dispatch via the fault-context wrapper.
+
+        ``sink`` collects every future ever submitted for the ticket so
+        shared-memory sweeps can settle stragglers before unlinking.
+        """
+
+        def submit(pool: Executor, attempt: int):
+            future = pool.submit(_supervised_task, fn, seq, attempt, *args)
+            if sink is not None:
+                sink.append(future)
+            return future
+
+        return SupervisedTask(seq=seq, submit=submit, fallback=fallback)
 
     # ------------------------------------------------------------------
     def evaluate_scenarios(
@@ -933,24 +1122,18 @@ class ParallelDtrEvaluator(CachingDtrEvaluator):
             return self._process_sweep_shared(
                 setting, scenarios, reuse, costs_only=costs_only
             )
-        pool = self._ensure_pool()
-        futures = [
-            pool.submit(
+        tasks = [
+            self._make_task(
+                seq,
                 _worker_sweep,
-                setting.delay,
-                setting.tput,
-                tuple(chunk),
-                reuse,
-                costs_only,
+                (setting.delay, setting.tput, tuple(chunk), reuse, costs_only),
+                lambda chunk=chunk: self._serial_ticket(
+                    setting, chunk, reuse, costs_only, batched=False
+                ),
             )
-            for chunk in self._chunks(scenarios)
+            for seq, chunk in enumerate(self._chunks(scenarios))
         ]
-        outcomes: list[ScenarioEvaluation] = []
-        for future in futures:
-            chunk_outcomes, pid, counters = future.result()
-            outcomes.extend(chunk_outcomes)
-            self._record_worker_stats(pid, counters)
-        return outcomes
+        return self._collect(self._supervise(tasks))
 
     def _process_sweep_shared(
         self,
@@ -968,37 +1151,40 @@ class ParallelDtrEvaluator(CachingDtrEvaluator):
         run their slice through the batched serial path, so results
         (reassembled in scenario order) are bit-identical to the serial
         sweep and invariant to ``n_jobs`` and ``chunk_size``.
+
+        Dispatch runs under the resilience supervisor: the state block
+        outlives pool rebuilds (re-dispatched tickets re-attach by
+        name) and is disposed only after every future ever submitted —
+        across all attempts — has settled, so a worker dying mid-attach
+        still ends with the block unlinked, never leaked.
         """
-        pool = self._ensure_pool()
         state = SharedSweepState(
             (setting.delay, setting.tput, tuple(scenarios), reuse)
         )
         futures: list = []
+        tasks = [
+            self._make_task(
+                seq,
+                _worker_sweep_shared,
+                (state.name, lo, hi, costs_only),
+                lambda lo=lo, hi=hi: self._serial_ticket(
+                    setting, scenarios[lo:hi], reuse, costs_only, batched=True
+                ),
+                sink=futures,
+            )
+            for seq, (lo, hi) in enumerate(self._chunk_ranges(len(scenarios)))
+        ]
         try:
-            # Plain loop (not a comprehension): a mid-submit failure
-            # must leave the already-submitted futures visible to the
-            # settle-before-dispose clause below.
-            for lo, hi in self._chunk_ranges(len(scenarios)):
-                futures.append(
-                    pool.submit(
-                        _worker_sweep_shared,
-                        state.name,
-                        lo,
-                        hi,
-                        costs_only,
-                    )
-                )
-            outcomes: list[ScenarioEvaluation] = []
-            for future in futures:
-                chunk_outcomes, pid, counters = future.result()
-                outcomes.extend(chunk_outcomes)
-                self._record_worker_stats(pid, counters)
+            outcomes = self._collect(self._supervise(tasks))
         finally:
-            # Unlinking before every ticket of this sweep has attached
-            # would fail the stragglers spuriously: settle all futures
-            # (even after a first-failure exit) before disposal.
+            # Unlinking before a straggler ticket attaches would fail
+            # it spuriously: settle every submitted future first.  The
+            # wait is bounded — a truly wedged worker must not pin the
+            # block forever; unlink-while-attached is safe (POSIX keeps
+            # the pages mapped) and a subsequent attach raises into a
+            # future nobody reads.
             if futures:
-                futures_wait(futures)
+                futures_wait(futures, timeout=_DISPOSE_SETTLE_TIMEOUT)
             state.dispose()
         return outcomes
 
@@ -1049,21 +1235,31 @@ class ParallelDtrEvaluator(CachingDtrEvaluator):
             or self._executor_kind == "thread"
         ):
             return super().evaluate_normal_batch(settings)
-        pool = self._ensure_pool()
-        futures = [
-            pool.submit(
+        tasks = [
+            self._make_task(
+                seq,
                 _worker_normal_batch,
-                tuple((s.delay, s.tput) for s in chunk),
+                (tuple((s.delay, s.tput) for s in chunk),),
+                lambda chunk=chunk: self._serial_normal_ticket(chunk),
             )
-            for chunk in self._chunks(settings)
+            for seq, chunk in enumerate(self._chunks(settings))
         ]
-        outcomes: list[ScenarioEvaluation] = []
-        for future in futures:
-            chunk_outcomes, pid, counters = future.result()
-            outcomes.extend(chunk_outcomes)
-            self._record_worker_stats(pid, counters)
+        outcomes = self._collect(self._supervise(tasks))
         self._num_evaluations += len(settings)
         return tuple(outcomes)
+
+    def _serial_normal_ticket(
+        self, chunk: "list[WeightSetting]"
+    ) -> tuple[list[ScenarioEvaluation], None, None]:
+        """Quarantined/degraded normal-batch ticket, computed in-process."""
+        before = self._num_evaluations
+        try:
+            outcomes = [
+                _strip_routings(self.evaluate_normal(s)) for s in chunk
+            ]
+        finally:
+            self._num_evaluations = before
+        return (outcomes, None, None)
 
 
 def make_evaluator(

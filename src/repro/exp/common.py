@@ -32,6 +32,7 @@ from repro.core.lexicographic import CostPair
 from repro.core.local_search import RecordedSetting, SearchStats
 from repro.core.optimizer import RobustDtrOptimizer, RobustRoutingResult
 from repro.core.parallel import make_evaluator
+from repro.core.resilience import global_stats
 from repro.core.phase1 import Phase1Result
 from repro.core.phase2 import Phase2Result, RobustConstraints
 from repro.core.sampling import CostSampleStore
@@ -225,6 +226,10 @@ class ArmControl:
     computed: list[str] = field(default_factory=list)
     loaded: list[str] = field(default_factory=list)
     deferred: list[str] = field(default_factory=list)
+    #: Arm keys whose sweeps degraded to the serial path (quarantine or
+    #: deadline) — results are still bit-identical, but the operator
+    #: should know which arms ran in failure-recovery mode.
+    degraded: list[str] = field(default_factory=list)
     _seq: int = 0
 
     def next_seq(self) -> int:
@@ -448,6 +453,7 @@ def run_arms(
             run_kwargs["resume_from"] = checkpoint
         if control.interrupt_after is not None:
             run_kwargs["interrupt_after"] = control.interrupt_after
+    stats_before = global_stats()
     try:
         result = optimizer.run(
             critical_fraction=critical_fraction,
@@ -460,6 +466,13 @@ def run_arms(
         if control.store is not None:
             _save_artifact(control.store / f"{key}.pkl", result)
         control.computed.append(key)
+        stats_after = global_stats()
+        if (
+            stats_after.quarantined_tasks > stats_before.quarantined_tasks
+            or stats_after.deadline_degraded_tasks
+            > stats_before.deadline_degraded_tasks
+        ):
+            control.degraded.append(key)
     return result
 
 

@@ -26,6 +26,7 @@ from pathlib import Path
 from typing import Callable
 
 from repro.core.checkpoint import OptimizerInterrupted
+from repro.core.resilience import global_stats, reset_global_stats
 from repro.exp.common import (
     ArmControl,
     ExperimentResult,
@@ -37,6 +38,13 @@ from repro.exp.presets import get_preset
 #: Exit code of a run stopped by SIGINT/SIGTERM after writing its
 #: checkpoint (EX_TEMPFAIL: rerun with ``--resume`` to continue).
 EXIT_INTERRUPTED = 75
+
+#: Exit code of a run that *completed with valid (bit-identical)
+#: results* but only by degrading work to the serial path — tasks were
+#: quarantined after exhausting retries, or a sweep deadline expired.
+#: Plain retries that succeeded exit 0; hard failures raise (exit 1).
+#: See docs/RESILIENCE.md for the full taxonomy.
+EXIT_DEGRADED = 76
 
 #: Registered experiment ids: paper artifacts in paper order, then the
 #: supporting/extension experiments (Sections IV-C, V-B, V-F footnote 16,
@@ -86,6 +94,9 @@ def run_experiment(
     backend: str | None = None,
     sweep_batch: str | None = None,
     scenarios: str | None = None,
+    max_retries: int | None = None,
+    task_timeout: float | None = None,
+    sweep_deadline: float | None = None,
 ) -> ExperimentResult:
     """Run one experiment and return its result.
 
@@ -104,6 +115,14 @@ def run_experiment(
         scenarios: scenario-family spec for the ``scenarios``
             experiment (e.g. ``"srlg,multi2,linkxsurge"``); None keeps
             its default.  Rejected for other experiments.
+        max_retries: dispatch retries per parallel sweep task before
+            quarantine; None keeps the preset's setting.  Execution-
+            only, like every resilience knob: recovered and degraded
+            runs stay bit-identical.
+        task_timeout: per-task deadline in seconds; None keeps the
+            preset's setting.
+        sweep_deadline: whole-sweep deadline in seconds; None keeps
+            the preset's setting.
     """
     resolved = get_preset(preset)
     overrides: dict[str, object] = {}
@@ -113,6 +132,12 @@ def run_experiment(
         overrides["routing_backend"] = backend
     if sweep_batch is not None:
         overrides["sweep_batching"] = sweep_batch
+    if max_retries is not None:
+        overrides["max_retries"] = max_retries
+    if task_timeout is not None:
+        overrides["task_timeout"] = task_timeout
+    if sweep_deadline is not None:
+        overrides["sweep_deadline"] = sweep_deadline
     if overrides:
         config = resolved.config.replace(
             execution=dataclasses.replace(
@@ -176,6 +201,38 @@ def main(argv: list[str] | None = None) -> int:
             "scenario-axis sweep batching (default: the preset's, "
             "normally auto = batch multi-scenario sweeps; results are "
             "bit-identical either way)"
+        ),
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="K",
+        help=(
+            "dispatch retries per parallel sweep task before it is "
+            "quarantined to the serial path (default: the preset's, "
+            "normally 2; results are bit-identical either way)"
+        ),
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-task deadline for parallel sweep tasks; a task "
+            "exceeding it is retried on a recycled pool (default: none)"
+        ),
+    )
+    parser.add_argument(
+        "--sweep-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "whole-sweep deadline; once exhausted the rest of a sweep "
+            f"degrades to the serial path and the run exits "
+            f"{EXIT_DEGRADED} (default: none)"
         ),
     )
     parser.add_argument(
@@ -250,6 +307,12 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.jobs is not None and args.jobs < 0:
         parser.error("--jobs must be >= 0 (0 = one worker per CPU)")
+    if args.max_retries is not None and args.max_retries < 0:
+        parser.error("--max-retries must be >= 0 (0 disables retries)")
+    if args.task_timeout is not None and args.task_timeout <= 0:
+        parser.error("--task-timeout must be positive")
+    if args.sweep_deadline is not None and args.sweep_deadline <= 0:
+        parser.error("--sweep-deadline must be positive")
     if args.scenarios is not None and args.experiment != "scenarios":
         parser.error("--scenarios only applies to the 'scenarios' experiment")
     if args.resume and args.checkpoint_dir is None:
@@ -292,6 +355,7 @@ def main(argv: list[str] | None = None) -> int:
         list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     )
     previous = set_arm_control(control)
+    reset_global_stats()
     try:
         for experiment_id in targets:
             if control is not None:
@@ -306,6 +370,9 @@ def main(argv: list[str] | None = None) -> int:
                     backend=args.backend,
                     sweep_batch=args.sweep_batch,
                     scenarios=args.scenarios,
+                    max_retries=args.max_retries,
+                    task_timeout=args.task_timeout,
+                    sweep_deadline=args.sweep_deadline,
                 )
             except OptimizerInterrupted as interrupted:
                 print(
@@ -319,11 +386,27 @@ def main(argv: list[str] | None = None) -> int:
                 print(
                     f"[arms: computed={len(control.computed)} "
                     f"loaded={len(control.loaded)} "
-                    f"deferred={len(control.deferred)}]"
+                    f"deferred={len(control.deferred)} "
+                    f"degraded={len(control.degraded)}]"
                 )
             print(f"\n[{experiment_id} finished in {elapsed:.1f}s]\n")
     finally:
         set_arm_control(previous)
+    stats = global_stats()
+    if stats.total_failures or stats.degraded:
+        print(
+            "[resilience: "
+            + " ".join(
+                f"{name}={value}"
+                for name, value in stats.as_dict().items()
+                if value
+            )
+            + "]"
+        )
+    if stats.degraded:
+        # Results are valid and bit-identical, but part of the work ran
+        # in failure-recovery mode — surface it without failing the run.
+        return EXIT_DEGRADED
     return 0
 
 

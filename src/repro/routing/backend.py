@@ -93,6 +93,37 @@ def resolve_sweep_batching(mode: str, num_scenarios: int) -> bool:
     return num_scenarios >= SWEEP_BATCH_MIN_SCENARIOS
 
 
+def validate_resilience(
+    max_retries: int,
+    retry_backoff: float,
+    task_timeout: "float | None",
+    sweep_deadline: "float | None",
+) -> None:
+    """Validate the fault-tolerance knobs of ``ExecutionParams``.
+
+    Raises ``ValueError`` on an invalid combination.  Lives beside the
+    other execution-knob validators so ``repro.config`` has one home
+    for how knobs are checked.
+    """
+    if max_retries < 0:
+        raise ValueError("max_retries must be >= 0 (0 disables retries)")
+    if retry_backoff < 0:
+        raise ValueError("retry_backoff must be >= 0 seconds")
+    if task_timeout is not None and task_timeout <= 0:
+        raise ValueError("task_timeout must be positive when given")
+    if sweep_deadline is not None and sweep_deadline <= 0:
+        raise ValueError("sweep_deadline must be positive when given")
+    if (
+        task_timeout is not None
+        and sweep_deadline is not None
+        and task_timeout > sweep_deadline
+    ):
+        raise ValueError(
+            "task_timeout must not exceed sweep_deadline "
+            "(a single task could consume the whole sweep budget)"
+        )
+
+
 def validate_backend(backend: str) -> str:
     """Return ``backend`` if recognized, raise ``ValueError`` otherwise."""
     if backend not in VALID_BACKENDS:

@@ -74,6 +74,25 @@ SWEEP_STATE_BUDGET = 8_000_000
 SWEEP_KERNEL_BUDGET = 6_000_000
 
 
+#: Chaos-testing hook: set by :func:`repro.core.faults.install_fault_plan`
+#: to its ``fault_point`` callable when a fault plan is active in this
+#: process (workers of a chaos run), ``None`` everywhere else.  A plain
+#: module global keeps the hot-path cost at one ``is None`` check and
+#: avoids a routing -> core import.
+_FAULT_HOOK = None
+
+
+def set_fault_hook(hook) -> None:
+    """Install (or clear, with None) the stage fault-injection hook."""
+    global _FAULT_HOOK
+    _FAULT_HOOK = hook
+
+
+def _maybe_fault(stage: str) -> None:
+    if _FAULT_HOOK is not None:
+        _FAULT_HOOK(stage)
+
+
 def group_scenario_budget(num_nodes: int) -> int:
     """Scenarios per batch group, bounded by the structure-state budget.
 
@@ -206,6 +225,7 @@ def route_scenario_batch(
     The caller holds the router's lock (same contract as
     ``route_scenario``).
     """
+    _maybe_fault("route_batch")
     structs = [router._scenario_structure(s) for s in scenarios]
     computed: "list[dict[int, tuple[np.ndarray, float]]]" = [
         {} for _ in structs
@@ -315,6 +335,7 @@ def flush_delay_batch(
     in ``out`` in place (diagonal re-NaN'd) and in the engine's delay
     memo under the per-scenario keys.
     """
+    _maybe_fault("delay_flush")
     batch_propagate = (
         batch_propagate_mean_delay
         if mode == "mean"

@@ -427,6 +427,88 @@ class TestPoolKeying:
 
 
 # ----------------------------------------------------------------------
+# pool-crash recovery: real worker deaths, not injected ones
+# ----------------------------------------------------------------------
+@pytest.mark.parallel
+class TestPoolFailureRecovery:
+    """SIGKILL a live worker out from under the evaluator.
+
+    The fault-harness chaos tests (``test_resilience.py``) kill workers
+    from the inside; these kill them from the outside — the parent
+    delivers SIGKILL to a pool pid — so the recovery path is exercised
+    against a genuine, unannounced process death too.
+    """
+
+    def test_sigkill_worker_mid_lifecycle_recovers_bit_identical(
+        self, isp_instance, isp_setting
+    ):
+        import os
+        import signal
+
+        network, traffic = isp_instance
+        failures = single_link_failures(network)
+        serial = DtrEvaluator(network, traffic, OptimizerConfig())
+        reference = serial.evaluate_failures(isp_setting, failures)
+        with ParallelDtrEvaluator(
+            network, traffic, _config(n_jobs=2, retry_backoff=0.0)
+        ) as parallel:
+            first = parallel.evaluate_failures(isp_setting, failures)
+            victims = list(parallel._worker_stats)
+            assert victims  # pids reported by the warm sweep
+            os.kill(victims[0], signal.SIGKILL)
+            candidate = parallel.evaluate_failures(isp_setting, failures)
+            stats = parallel.resilience_stats
+        _assert_bit_identical(reference, first)
+        _assert_bit_identical(reference, candidate)
+        from repro.core.parallel import _LIVE_SWEEP_STATES
+
+        assert not list(_LIVE_SWEEP_STATES)  # no leaked shm block
+        assert stats.pool_rebuilds >= 1
+        assert stats.quarantined_tasks == 0
+
+    def test_close_tolerates_broken_pool(self, isp_instance, isp_setting):
+        import os
+        import signal
+
+        network, traffic = isp_instance
+        failures = single_link_failures(network)
+        parallel = ParallelDtrEvaluator(
+            network, traffic, _config(n_jobs=2)
+        )
+        parallel.evaluate_failures(isp_setting, failures)
+        for pid in parallel._worker_stats:
+            os.kill(pid, signal.SIGKILL)
+        parallel.close()  # must not raise on the broken pool
+        parallel.close()  # and stays idempotent
+
+    def test_set_execution_tolerates_broken_pool(
+        self, isp_instance, isp_setting
+    ):
+        import os
+        import signal
+
+        network, traffic = isp_instance
+        failures = single_link_failures(network)
+        serial = DtrEvaluator(network, traffic, OptimizerConfig())
+        reference = serial.evaluate_failures(isp_setting, failures)
+        with ParallelDtrEvaluator(
+            network, traffic, _config(n_jobs=2, retry_backoff=0.0)
+        ) as parallel:
+            parallel.evaluate_failures(isp_setting, failures)
+            for pid in parallel._worker_stats:
+                os.kill(pid, signal.SIGKILL)
+            # retuning across a corpse must not raise, and the rebuild
+            # stays lazy + idempotent
+            parallel.set_execution(
+                ExecutionParams(n_jobs=3, retry_backoff=0.0)
+            )
+            assert parallel._pool is None
+            candidate = parallel.evaluate_failures(isp_setting, failures)
+            assert parallel.n_jobs == 3
+        _assert_bit_identical(reference, candidate)
+
+
+# ----------------------------------------------------------------------
 # shared-memory lifecycle under signals and interpreter exit
 # ----------------------------------------------------------------------
 class TestSweepStateCleanup:
