@@ -11,11 +11,17 @@ comparable across PRs and across benchmarks:
   ``incremental``);
 * ``mode`` — one sentence describing what the numbers measure;
 * ``context`` — benchmark-specific calibration constants and inputs
-  (seeds, crossovers, sizes) worth pinning next to the numbers;
+  (seeds, crossovers, sizes) worth pinning next to the numbers.  Every
+  record additionally carries ``context.backend_availability`` — which
+  routing backends were importable on the producing machine (and the
+  numba/numpy versions) — so trajectory comparisons across PRs can
+  tell a slow kernel from a missing one;
 * ``rows`` — the measurements, one dict per benchmarked configuration.
 
 The helper is deliberately dependency-free (stdlib json only) so the
-benchmarks stay runnable without the package installed.
+benchmarks stay runnable without the package installed; the backend
+probe soft-imports :mod:`repro.routing.backend` and degrades to a
+stub when the package is absent.
 """
 
 from __future__ import annotations
@@ -26,6 +32,15 @@ import json
 SCHEMA_VERSION = 1
 
 
+def _backend_availability() -> dict:
+    """Probe which routing backends this interpreter can run."""
+    try:
+        from repro.routing.backend import backend_availability
+    except ImportError:
+        return {"python": True, "vector": None, "numba": None}
+    return backend_availability()
+
+
 def bench_payload(
     benchmark: str,
     mode: str,
@@ -33,11 +48,13 @@ def bench_payload(
     context: "dict | None" = None,
 ) -> dict:
     """Assemble one benchmark record in the shared schema."""
+    full_context = dict(context or {})
+    full_context.setdefault("backend_availability", _backend_availability())
     return {
         "schema_version": SCHEMA_VERSION,
         "benchmark": benchmark,
         "mode": mode,
-        "context": dict(context or {}),
+        "context": full_context,
         "rows": rows,
     }
 

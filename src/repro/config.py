@@ -244,10 +244,16 @@ class ExecutionParams:
         routing_backend: kernel backend for routing propagations —
             ``"python"`` (per-destination pure-Python loops, fastest at
             backbone scale), ``"vector"`` (array-native destination
-            batches, fastest on Rocketfuel-class instances) or
-            ``"auto"`` (default: per-call choice from node/arc/
-            destination counts; see ``repro.routing.backend``).
-            Backends are bit-identical on integer-weight instances.
+            batches, fastest on Rocketfuel-class instances),
+            ``"numba"`` (JIT-compiled batch kernels; requires the
+            optional ``numba`` dependency — the ``[jit]`` extra — and
+            raises here at validation time when it is not importable)
+            or ``"auto"`` (default: per-call choice from node/arc/
+            destination counts; selects ``"numba"`` only above its
+            crossover and only when importable, so environments
+            without numba resolve exactly as before; see
+            ``repro.routing.backend``).  Backends are bit-identical on
+            integer-weight instances.
         sweep_batching: run scenario sweeps through the batch sweep
             engine (:mod:`repro.routing.sweep`): scenarios are grouped
             by structural footprint and their outstanding kernel work

@@ -34,6 +34,7 @@ from repro.exp.common import (
     set_arm_control,
 )
 from repro.exp.presets import get_preset
+from repro.routing.backend import numba_available
 
 #: Exit code of a run stopped by SIGINT/SIGTERM after writing its
 #: checkpoint (EX_TEMPFAIL: rerun with ``--resume`` to continue).
@@ -106,9 +107,11 @@ def run_experiment(
         seed: base seed.
         jobs: evaluation workers; None keeps the preset's setting, 0
             means one worker per CPU.
-        backend: routing kernel backend (``auto``/``python``/``vector``);
-            None keeps the preset's setting.  Execution-only: results
-            are identical whichever backend runs.
+        backend: routing kernel backend (``auto``/``python``/
+            ``vector``/``numba``); None keeps the preset's setting.
+            ``numba`` needs the optional JIT dependency (the ``[jit]``
+            extra).  Execution-only: results are identical whichever
+            backend runs.
         sweep_batch: scenario-axis sweep batching mode
             (``auto``/``on``/``off``); None keeps the preset's setting.
             Execution-only: sweeps are bit-identical either way.
@@ -187,10 +190,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--backend",
         default=None,
-        choices=("auto", "python", "vector"),
+        choices=("auto", "python", "vector", "numba"),
         help=(
             "routing kernel backend (default: the preset's, normally "
-            "auto = size-adaptive; results are identical either way)"
+            "auto = size-adaptive; numba requires the optional [jit] "
+            "extra; results are identical either way)"
         ),
     )
     parser.add_argument(
@@ -307,6 +311,12 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.jobs is not None and args.jobs < 0:
         parser.error("--jobs must be >= 0 (0 = one worker per CPU)")
+    if args.backend == "numba" and not numba_available():
+        parser.error(
+            "--backend numba requires the optional numba dependency; "
+            "install it with 'pip install numba' (or the [jit] extra) "
+            "or use --backend auto/vector"
+        )
     if args.max_retries is not None and args.max_retries < 0:
         parser.error("--max-retries must be >= 0 (0 disables retries)")
     if args.task_timeout is not None and args.task_timeout <= 0:

@@ -3,6 +3,8 @@
 from repro.routing.arcs import Arc
 from repro.routing.backend import (
     VALID_BACKENDS,
+    backend_availability,
+    numba_available,
     resolve_backend,
     validate_backend,
 )
@@ -40,7 +42,9 @@ __all__ = [
     "RoutingEngine",
     "ScenarioRouting",
     "VALID_BACKENDS",
+    "backend_availability",
     "dual_link_failures",
+    "numba_available",
     "resolve_backend",
     "validate_backend",
     "single_arc_failures",

@@ -20,7 +20,12 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
-from repro.routing.backend import resolve_backend, validate_backend
+from repro.routing.backend import (
+    maybe_warm_numba,
+    resolve_backend,
+    routing_kernels,
+    validate_backend,
+)
 from repro.routing.failures import NORMAL, FailureScenario, disabled_arc_mask
 from repro.routing.fastpath import (
     PropagationPlan,
@@ -32,13 +37,22 @@ from repro.routing.fastpath import (
 from repro.routing.loader import max_arc_value_on_paths
 from repro.routing.network import Network
 from repro.routing.spf import _validate_weights, distance_columns
-from repro.routing.vectorized import (
-    BatchPlan,
-    batch_propagate_mean_delay,
-    batch_propagate_worst_delay,
-    batch_total_loads,
-    build_schedule,
-)
+from repro.routing.vectorized import BatchPlan, build_schedule
+
+
+def _batch_delay_kernel(resolved: str, mode: str):
+    """The resolved backend's batch path-delay kernel for ``mode``.
+
+    One lookup through the shared kernel table
+    (:func:`repro.routing.backend.routing_kernels`), so the vector and
+    numba stacks stay interchangeable at every delay call site.
+    """
+    kernels = routing_kernels(resolved)
+    return (
+        kernels.batch_propagate_mean_delay
+        if mode == "mean"
+        else kernels.batch_propagate_worst_delay
+    )
 
 
 #: Below this many leftover delay columns the per-destination python
@@ -141,10 +155,12 @@ class RoutingEngine:
         backend: kernel backend — ``"python"`` (per-destination pure
             Python loops, fastest at backbone scale), ``"vector"``
             (array-native destination batches, fastest on large
-            instances) or ``"auto"`` (default; per-call choice from the
-            instance's node/arc/destination counts).  Backends are
-            bit-identical on integer-weight instances, so this is purely
-            an execution knob.
+            instances), ``"numba"`` (JIT-compiled batch kernels; soft
+            dependency — raises here when numba is not importable) or
+            ``"auto"`` (default; per-call choice from the instance's
+            node/arc/destination counts, never numba when it is
+            absent).  Backends are bit-identical on integer-weight
+            instances, so this is purely an execution knob.
     """
 
     #: Capacity of the per-destination path-delay memo.
@@ -155,6 +171,10 @@ class RoutingEngine:
         self._backend = validate_backend(backend)
         self._plan = PropagationPlan.for_network(network)
         self._batch_plan = BatchPlan.for_network(network)
+        # Pre-compile the JIT kernels when this instance could dispatch
+        # to them, so compile latency lands here — construction — and
+        # never inside a timed sweep (no-op without numba; idempotent).
+        maybe_warm_numba(backend, network.num_nodes, network.num_arcs)
         self._delay_memo: OrderedDict[tuple, np.ndarray] = OrderedDict()
         # The thread-pool evaluator shares one engine across workers;
         # memo bookkeeping (get + move_to_end, insert + evict) must not
@@ -241,9 +261,10 @@ class RoutingEngine:
             dist[:, destinations] = cols
         masks = destination_mask_rows(net, weights, cols, disabled)
 
-        if self._resolve(destinations.size) == "vector":
+        resolved = self._resolve(destinations.size)
+        if resolved != "python":
             schedule = build_schedule(self._batch_plan, masks, cols)
-            loads_arr, und = batch_total_loads(
+            loads_arr, und = routing_kernels(resolved).batch_total_loads(
                 self._batch_plan,
                 masks,
                 cols,
@@ -327,10 +348,8 @@ class RoutingEngine:
         """
         if mode == "worst":
             propagate = fast_propagate_worst_delay
-            batch_propagate = batch_propagate_worst_delay
         elif mode == "mean":
             propagate = fast_propagate_mean_delay
-            batch_propagate = batch_propagate_mean_delay
         else:
             raise ValueError(f"unknown delay mode {mode!r}")
         net = self._network
@@ -344,13 +363,18 @@ class RoutingEngine:
         pending = self._delay_pending(
             routing, arc_delays, mode, reuse, memo, out
         )
-        if pending and resolve_backend(
-            self._backend,
-            net.num_nodes,
-            net.num_arcs,
-            len(pending),
-            kind="propagate",
-        ) == "python":
+        resolved = (
+            resolve_backend(
+                self._backend,
+                net.num_nodes,
+                net.num_arcs,
+                len(pending),
+                kind="propagate",
+            )
+            if pending
+            else "python"
+        )
+        if pending and resolved == "python":
             delays_list = arc_delays.tolist()
             for row, t, key in pending:
                 column = propagate(
@@ -366,6 +390,7 @@ class RoutingEngine:
                     self._memo_put(key, out[:, t].copy())
             pending = []
         if pending:
+            batch_propagate = _batch_delay_kernel(resolved, mode)
             schedule = None
             if len(pending) == len(routing.destinations):
                 # Whole-batch propagation: reuse the schedule route_class

@@ -51,7 +51,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.routing.backend import resolve_backend, validate_backend
+from repro.routing.backend import (
+    maybe_warm_numba,
+    resolve_backend,
+    routing_kernels,
+    validate_backend,
+)
 from repro.routing.engine import ClassRouting
 from repro.routing.failures import (
     NORMAL,
@@ -71,11 +76,7 @@ from repro.routing.spf import (
     _reverse_adjacency,
     distance_columns,
 )
-from repro.routing.vectorized import (
-    BatchPlan,
-    batch_propagate_loads,
-    build_schedule,
-)
+from repro.routing.vectorized import BatchPlan, build_schedule
 
 #: Weight-delta count above which :meth:`IncrementalRouter.sync` rebuilds
 #: from scratch instead of replaying per-arc deltas.  Local-search sync
@@ -248,6 +249,12 @@ class IncrementalRouter:
         self._plan = plan or PropagationPlan.for_network(network)
         self._backend = validate_backend(backend)
         self._batch_plan = BatchPlan.for_network(network)
+        # JIT warm-up before the first (possibly timed) propagation;
+        # no-op without numba, idempotent with it.  Workers of a
+        # parallel evaluator construct routers after unpickling and
+        # recompile (or cache-load) here — compiled state is
+        # module-global, never pickled.
+        maybe_warm_numba(backend, network.num_nodes, network.num_arcs)
         demands = np.asarray(demands, dtype=np.float64)
         if demands.shape != (network.num_nodes, network.num_nodes):
             raise ValueError("demand matrix shape must be (N, N)")
@@ -484,9 +491,9 @@ class IncrementalRouter:
         """Base-state load propagation for many rows, batched when it pays.
 
         Memo semantics match the per-row path exactly: hits replay their
-        stored floats, misses are computed (through the vector batch
-        kernel when the backend resolves that way — bit-identical to the
-        python kernel) and stored.
+        stored floats, misses are computed (through the vector or numba
+        batch kernel when the backend resolves that way — bit-identical
+        to the python kernel) and stored.
         """
         rows = np.asarray(rows, dtype=np.intp)
         net = self._net
@@ -497,7 +504,7 @@ class IncrementalRouter:
             rows.size,
             kind="propagate",
         )
-        if resolved != "vector":
+        if resolved == "python":
             for row in rows:
                 self._propagate_row(int(row), int(self._dest[row]))
             return
@@ -516,7 +523,7 @@ class IncrementalRouter:
             return
         miss = np.asarray(missing, dtype=np.intp)
         dests = self._dest[miss]
-        contribs, und = batch_propagate_loads(
+        contribs, und = routing_kernels(resolved).batch_propagate_loads(
             self._batch_plan,
             self._masks[miss],
             self._dist_cols[:, miss],
@@ -965,9 +972,10 @@ class IncrementalRouter:
         computed: dict[int, tuple[np.ndarray, float]] = {}
         batch_schedule = None
         bd = None
-        if need and resolve_backend(
+        resolved = resolve_backend(
             self._backend, n, num_arcs, len(need), kind="propagate"
-        ) == "vector":
+        ) if need else "python"
+        if need and resolved != "python":
             batch_pos: list[int] = []
             for pos in need:
                 t = int(dest_s[pos])
@@ -990,7 +998,8 @@ class IncrementalRouter:
                 batch_schedule = build_schedule(
                     self._batch_plan, batch_masks, dist[:, bd]
                 )
-                contribs, und = batch_propagate_loads(
+                kernels = routing_kernels(resolved)
+                contribs, und = kernels.batch_propagate_loads(
                     self._batch_plan,
                     batch_masks,
                     dist[:, bd],

@@ -1,0 +1,450 @@
+"""JIT-compiled batch routing kernels (the optional ``numba`` backend).
+
+These are drop-in counterparts of the four batch kernels of
+:mod:`repro.routing.vectorized` — identical call signatures, consuming
+the same :class:`~repro.routing.vectorized.BatchPlan` /
+:class:`~repro.routing.vectorized.BatchSchedule` arrays — with the level
+sweeps compiled to fused loops via ``numba.njit``.  The vector kernels
+pay a fixed python/numpy dispatch cost *per distance level* (a dozen
+array ops each); the compiled sweeps pay it once per kernel call, which
+is what lifts throughput past the vector stack's 4-5x plateau and pulls
+the crossover against the pure-python loops down to backbone-adjacent
+sizes.
+
+Bit-identity with the python and vector kernels on integer-weight
+instances is engineered the same way the vector kernels engineered it —
+by replaying the exact float-operation order:
+
+* the load sweep walks levels farthest-first and, within a level, cells
+  in schedule order with each cell's live arcs in adjacency order —
+  exactly the flat order ``np.add.at`` accumulates for the vector
+  kernel (and the python kernels' node-then-arc order); idle cells
+  contribute the same ``+0.0`` adds the vector kernel's zero shares do;
+* unreachable demand folds in ascending node order per column before
+  the sweep, then dead-end volumes in level order — the
+  ``fast_propagate_loads`` fold order;
+* the total-loads fold replays the vector kernel's ascending
+  ``(destination column, arc)`` accumulation order (the python engine's
+  per-destination loop order);
+* the mean-delay DP sums each cell's arc candidates sequentially in arc
+  order (``np.bincount``'s flat-order accumulation); the worst-delay DP
+  takes segment maxima, which involve no rounding freedom at all.
+
+``numba`` is a **soft dependency**.  When it is not importable the
+``@njit`` decorators degrade to identity and the kernels below still
+run — as slow pure-python reference loops, which is exactly what
+``tests/routing/test_numba_kernels.py`` exercises on numba-free
+machines to pin the operation-order parity of this module's loop
+bodies.  The dispatcher (:mod:`repro.routing.backend`) never *selects*
+this backend without numba: ``validate_backend("numba")`` raises and
+``auto`` skips it, so the uncompiled fallback is reachable only by
+importing this module directly.
+
+Compiled-dispatch state is module-global and never pickled: a worker
+process of a parallel evaluator imports this module afresh and
+recompiles (or loads numba's on-disk ``cache=True`` cache) on first
+use, mirroring how ``ClassRouting`` drops its batch schedule on
+pickling and rebuilds it worker-side.  Call :func:`warmup` (idempotent;
+:func:`repro.routing.backend.maybe_warm_numba` does it at engine
+construction) to keep compile latency out of timed sweeps.
+
+Set ``REPRO_NUMBA_PARALLEL=1`` to compile the path-delay DPs with
+``parallel=True`` (cells of one level fan out across threads).  The DP
+stays bit-identical either way: within a level every cell writes only
+its own output and reads only strictly-lower levels, and each cell's
+arithmetic is sequential inside one thread.  The load sweep is always
+sequential — its cross-cell flow accumulation has a pinned order.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit, prange
+
+    NUMBA_AVAILABLE = True
+except ImportError:
+    NUMBA_AVAILABLE = False
+    prange = range
+
+    def njit(*args, **kwargs):
+        """Identity decorator: without numba the kernels run as plain
+        python reference loops (dispatch never routes here, tests do)."""
+        if args and callable(args[0]) and not kwargs:
+            return args[0]
+
+        def wrap(func):
+            return func
+
+        return wrap
+
+
+#: Compile the delay DPs with ``parallel=True`` (see module docstring).
+PARALLEL_ENABLED = os.environ.get("REPRO_NUMBA_PARALLEL", "").lower() in (
+    "1",
+    "true",
+    "on",
+)
+
+
+def numba_version() -> "str | None":
+    """The importable numba's version string, None when absent."""
+    if not NUMBA_AVAILABLE:
+        return None
+    import numba
+
+    return numba.__version__
+
+
+# ----------------------------------------------------------------------
+# compiled cores (flat arrays only — numba cannot consume dataclasses)
+# ----------------------------------------------------------------------
+@njit(cache=True)
+def _loads_core(
+    nodes,
+    cols,
+    level_ptr,
+    live_counts,
+    arcs,
+    cell_ptr,
+    arc_dst,
+    dist_cols,
+    demand_cols,
+    dests,
+):
+    """Farthest-level-first ECMP share sweep; the vector kernels'
+    ``_propagate_shares`` with every level fused into one loop nest."""
+    n, d = demand_cols.shape
+    flow = np.zeros((n, d))
+    undelivered = np.zeros(d)
+    for col in range(d):
+        # Ascending-node unreachable fold, the python kernel's scan.
+        for v in range(n):
+            dm = demand_cols[v, col]
+            if dm > 0.0:
+                if np.isfinite(dist_cols[v, col]):
+                    flow[v, col] = dm
+                else:
+                    undelivered[col] += dm
+        flow[dests[col], col] = 0.0
+    shares = np.zeros(arcs.shape[0])
+    num_levels = level_ptr.shape[0] - 1
+    for lv in range(num_levels - 1, -1, -1):
+        for c in range(level_ptr[lv], level_ptr[lv + 1]):
+            node = nodes[c]
+            col = cols[c]
+            vol = flow[node, col]
+            active = vol > 0.0 and node != dests[col]
+            cnt = live_counts[c]
+            if active and cnt > 0.0:
+                share = vol / cnt
+            else:
+                share = 0.0
+                if active:
+                    # Dead end: volume stuck at a live-arc-less cell.
+                    undelivered[col] += vol
+            for k in range(cell_ptr[c], cell_ptr[c + 1]):
+                # Idle cells write share 0.0 and add +0.0 downstream,
+                # exactly like the vector kernel's masked scatter-add.
+                shares[k] = share
+                flow[arc_dst[arcs[k]], col] += share
+    return shares, undelivered
+
+
+@njit(cache=True)
+def _fold_core(arcs, shares, fold, num_arcs):
+    """Sequential total-loads fold in the supplied permutation order."""
+    loads = np.zeros(num_arcs)
+    for i in range(fold.shape[0]):
+        k = fold[i]
+        loads[arcs[k]] += shares[k]
+    return loads
+
+
+def _delay_core_impl(
+    nodes,
+    cols,
+    level_ptr,
+    live_counts,
+    arcs,
+    cell_ptr,
+    arc_dst,
+    arc_delays,
+    delay_rows,
+    dests,
+    n,
+    mean,
+):
+    """Ascending-level path-delay DP (worst or flow-weighted mean).
+
+    ``arc_delays`` is always ``(S, num_arcs)`` here; column ``col``
+    reads row ``delay_rows[col]`` (the scenario-axis batching hook —
+    single-scenario calls pass one row and all-zero ``delay_rows``).
+    Cells of one level are independent (each writes only its own
+    ``(node, col)`` output and reads strictly-lower levels), so the
+    ``prange`` is safe under ``parallel=True`` with unchanged bits.
+    """
+    d = dests.shape[0]
+    delay = np.full((n, d), np.inf)
+    for col in range(d):
+        delay[dests[col], col] = 0.0
+    num_levels = level_ptr.shape[0] - 1
+    for lv in range(num_levels):
+        p0 = level_ptr[lv]
+        p1 = level_ptr[lv + 1]
+        for c in prange(p0, p1):
+            node = nodes[c]
+            col = cols[c]
+            if live_counts[c] <= 0.0 or node == dests[col]:
+                continue
+            row = delay_rows[col]
+            a0 = cell_ptr[c]
+            a1 = cell_ptr[c + 1]
+            if mean:
+                # Sequential arc-order sum — np.bincount's flat-order
+                # accumulation, i.e. the python kernel's arc order.
+                total = 0.0
+                for k in range(a0, a1):
+                    a = arcs[k]
+                    total += arc_delays[row, a] + delay[arc_dst[a], col]
+                delay[node, col] = total / live_counts[c]
+            else:
+                a = arcs[a0]
+                best = arc_delays[row, a] + delay[arc_dst[a], col]
+                for k in range(a0 + 1, a1):
+                    a = arcs[k]
+                    cand = arc_delays[row, a] + delay[arc_dst[a], col]
+                    if cand > best:
+                        best = cand
+                delay[node, col] = best
+    return delay
+
+
+_delay_core = njit(cache=True)(_delay_core_impl)
+_delay_core_parallel = njit(cache=True, parallel=True)(_delay_core_impl)
+
+
+def _delay_dispatch():
+    return _delay_core_parallel if PARALLEL_ENABLED else _delay_core
+
+
+# ----------------------------------------------------------------------
+# wrappers: vectorized-compatible signatures over the compiled cores
+# ----------------------------------------------------------------------
+def _schedule_arrays(schedule):
+    """The schedule's arrays as the int64/float64 forms the cores take.
+
+    On 64-bit platforms ``intp`` is ``int64``, so these are views, not
+    copies; the conversion exists to keep the compiled signatures
+    platform-stable (one specialization, one cache entry).
+    """
+    return (
+        np.ascontiguousarray(schedule.nodes, dtype=np.int64),
+        np.ascontiguousarray(schedule.cols, dtype=np.int64),
+        np.ascontiguousarray(schedule.level_ptr, dtype=np.int64),
+        np.ascontiguousarray(schedule.live_counts, dtype=np.float64),
+        np.ascontiguousarray(schedule.arcs, dtype=np.int64),
+        np.ascontiguousarray(schedule.cell_ptr, dtype=np.int64),
+    )
+
+
+def _run_shares(plan, masks, dist_cols, demand_cols, dests, schedule):
+    from repro.routing.vectorized import build_schedule
+
+    dests = np.asarray(dests, dtype=np.int64)
+    sched = (
+        schedule
+        if schedule is not None
+        else build_schedule(plan, masks, dist_cols)
+    )
+    nodes, cols, level_ptr, live_counts, arcs, cell_ptr = _schedule_arrays(
+        sched
+    )
+    shares, undelivered = _loads_core(
+        nodes,
+        cols,
+        level_ptr,
+        live_counts,
+        arcs,
+        cell_ptr,
+        np.ascontiguousarray(plan.arc_dst, dtype=np.int64),
+        np.ascontiguousarray(dist_cols, dtype=np.float64),
+        np.ascontiguousarray(demand_cols, dtype=np.float64),
+        dests,
+    )
+    return sched, shares, undelivered
+
+
+def batch_propagate_loads(
+    plan,
+    masks,
+    dist_cols,
+    demand_cols,
+    dests,
+    schedule=None,
+):
+    """JIT counterpart of :func:`repro.routing.vectorized.
+    batch_propagate_loads` — same signature, bit-identical rows."""
+    sched, shares, undelivered = _run_shares(
+        plan, masks, dist_cols, demand_cols, dests, schedule
+    )
+    contribs = np.zeros((masks.shape[0], plan.num_arcs))
+    # One write per (destination, arc) pair: plain assignment, no
+    # accumulation order in play (same as the vector kernel).
+    contribs[sched.arc_cols, sched.arcs] = shares
+    return contribs, undelivered
+
+
+def batch_total_loads(
+    plan,
+    masks,
+    dist_cols,
+    demand_cols,
+    dests,
+    schedule=None,
+):
+    """JIT counterpart of :func:`repro.routing.vectorized.
+    batch_total_loads` — same ascending-(column, arc) fold order."""
+    sched, shares, undelivered = _run_shares(
+        plan, masks, dist_cols, demand_cols, dests, schedule
+    )
+    # Unique composite key: any correct sort yields the one (column,
+    # arc) permutation, so argsort here equals the vector kernel's.
+    fold_key = sched.arc_cols * plan.num_arcs + sched.arcs
+    fold = np.argsort(fold_key).astype(np.int64, copy=False)
+    loads = _fold_core(
+        np.ascontiguousarray(sched.arcs, dtype=np.int64),
+        shares,
+        fold,
+        plan.num_arcs,
+    )
+    return loads, undelivered
+
+
+def _batch_delay(
+    plan,
+    masks,
+    dist_cols,
+    arc_delays,
+    dests,
+    mean,
+    schedule=None,
+    delay_rows=None,
+):
+    from repro.routing.vectorized import build_schedule
+
+    dests = np.asarray(dests, dtype=np.int64)
+    if schedule is not None:
+        sched = schedule
+    else:
+        assert masks is not None and dist_cols is not None, (
+            "need masks and dist_cols without a schedule"
+        )
+        sched = build_schedule(plan, masks, dist_cols)
+    arc_delays = np.asarray(arc_delays, dtype=np.float64)
+    if delay_rows is None:
+        delays_2d = np.ascontiguousarray(arc_delays.reshape(1, -1))
+        rows = np.zeros(dests.shape[0], dtype=np.int64)
+    else:
+        delays_2d = np.ascontiguousarray(arc_delays)
+        rows = np.asarray(delay_rows, dtype=np.int64)
+    nodes, cols, level_ptr, live_counts, arcs, cell_ptr = _schedule_arrays(
+        sched
+    )
+    return _delay_dispatch()(
+        nodes,
+        cols,
+        level_ptr,
+        live_counts,
+        arcs,
+        cell_ptr,
+        np.ascontiguousarray(plan.arc_dst, dtype=np.int64),
+        delays_2d,
+        rows,
+        dests,
+        plan.num_nodes,
+        mean,
+    )
+
+
+def batch_propagate_worst_delay(
+    plan,
+    masks,
+    dist_cols,
+    arc_delays,
+    dests,
+    schedule=None,
+    delay_rows=None,
+):
+    """JIT counterpart of :func:`repro.routing.vectorized.
+    batch_propagate_worst_delay` (max picks an input: no rounding)."""
+    return _batch_delay(
+        plan, masks, dist_cols, arc_delays, dests, mean=False,
+        schedule=schedule, delay_rows=delay_rows,
+    )
+
+
+def batch_propagate_mean_delay(
+    plan,
+    masks,
+    dist_cols,
+    arc_delays,
+    dests,
+    schedule=None,
+    delay_rows=None,
+):
+    """JIT counterpart of :func:`repro.routing.vectorized.
+    batch_propagate_mean_delay` (sequential arc-order accumulation)."""
+    return _batch_delay(
+        plan, masks, dist_cols, arc_delays, dests, mean=True,
+        schedule=schedule, delay_rows=delay_rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# warm-up
+# ----------------------------------------------------------------------
+_WARMED = False
+_WARM_LOCK = threading.Lock()
+
+
+def warmup() -> None:
+    """Compile (or cache-load) every kernel on a 2-node throwaway call.
+
+    Idempotent and cheap once warm; engines call this at construction
+    (:func:`repro.routing.backend.maybe_warm_numba`) so JIT latency
+    never lands inside a timed sweep.  Runs the exact array signatures
+    the real call sites produce, so no specialization is left cold.
+    """
+    global _WARMED
+    if _WARMED:
+        return
+    with _WARM_LOCK:
+        if _WARMED:
+            return
+        from repro.routing.vectorized import BatchPlan
+
+        plan = BatchPlan(
+            num_nodes=2,
+            num_arcs=1,
+            arc_src=np.array([1], dtype=np.intp),
+            arc_dst=np.array([0], dtype=np.intp),
+        )
+        masks = np.array([[True]])
+        dist_cols = np.array([[0.0], [1.0]])
+        demand_cols = np.array([[0.0], [1.0]])
+        dests = np.array([0], dtype=np.intp)
+        arc_delays = np.array([0.5])
+        batch_propagate_loads(plan, masks, dist_cols, demand_cols, dests)
+        batch_total_loads(plan, masks, dist_cols, demand_cols, dests)
+        batch_propagate_worst_delay(
+            plan, masks, dist_cols, arc_delays, dests
+        )
+        batch_propagate_mean_delay(
+            plan, masks, dist_cols, arc_delays, dests
+        )
+        _WARMED = True

@@ -49,6 +49,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.routing.backend import resolve_batch_backend, routing_kernels
 from repro.routing.engine import _PY_DELAY_BATCH_MAX
 from repro.routing.failures import FailureScenario
 from repro.routing.fastpath import (
@@ -56,13 +57,7 @@ from repro.routing.fastpath import (
     fast_propagate_worst_delay,
 )
 from repro.routing.incremental import IncrementalRouter, ScenarioRouting
-from repro.routing.vectorized import (
-    BatchSchedule,
-    batch_propagate_loads,
-    batch_propagate_mean_delay,
-    batch_propagate_worst_delay,
-    build_schedule,
-)
+from repro.routing.vectorized import BatchSchedule, build_schedule
 
 #: Upper bound on the floats held by one batch group's scenario
 #: structures (each scenario holds a full (N, N) distance matrix per
@@ -256,6 +251,17 @@ def route_scenario_batch(
     num_arcs = router.network.num_arcs
     budget = kernel_cell_budget(num_arcs)
     handoffs: "list[BatchHandoff]" = []
+    # One kernel-table resolution for the whole batch: the sweep engine
+    # is committed to batch kernels (columns span scenarios), so only
+    # the vector-vs-numba half of the dispatch applies here.
+    kernels = routing_kernels(
+        resolve_batch_backend(
+            router._backend,
+            router.network.num_nodes,
+            num_arcs,
+            len(pending),
+        )
+    )
     for lo in range(0, len(pending), budget):
         chunk = pending[lo: lo + budget]
         masks = np.stack(
@@ -269,7 +275,7 @@ def route_scenario_batch(
         )
         dests = np.asarray([t for _, _, t in chunk], dtype=np.intp)
         schedule = build_schedule(router._batch_plan, masks, dist_cols)
-        contribs, und = batch_propagate_loads(
+        contribs, und = kernels.batch_propagate_loads(
             router._batch_plan,
             masks,
             dist_cols,
@@ -336,11 +342,6 @@ def flush_delay_batch(
     memo under the per-scenario keys.
     """
     _maybe_fault("delay_flush")
-    batch_propagate = (
-        batch_propagate_mean_delay
-        if mode == "mean"
-        else batch_propagate_worst_delay
-    )
     if not any(pending for _, _, _, pending in tasks):
         return
     delays_2d = np.stack([arc_delays for _, arc_delays, _, _ in tasks])
@@ -351,6 +352,17 @@ def flush_delay_batch(
         for i, (_, _, _, pending) in enumerate(tasks)
         for _, t, key in pending
     }
+    net = engine.network
+    kernels = routing_kernels(
+        resolve_batch_backend(
+            engine._backend, net.num_nodes, net.num_arcs, len(remaining)
+        )
+    )
+    batch_propagate = (
+        kernels.batch_propagate_mean_delay
+        if mode == "mean"
+        else kernels.batch_propagate_worst_delay
+    )
 
     def write(i: int, t: int, key: "tuple | None", column: np.ndarray) -> None:
         out = tasks[i][2]

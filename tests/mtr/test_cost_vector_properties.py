@@ -52,8 +52,23 @@ class TestOrderLaws:
         assert (va < vb) == (pa < pb)
         assert (va > vb) == (pa > pb)
 
+    # Addition monotonicity cannot hold near the relative-tolerance
+    # boundary: adding a large common vector grows the comparison
+    # scale, so a difference that was significant before the addition
+    # (e.g. 1e-5 at scale 1) can lawfully collapse into a tie at scale
+    # 1e4 (rel tol 1e-9 * scale) and hand the decision to a
+    # lower-priority component.  Integer-valued components — the
+    # domain the optimizer actually produces on integer weights — stay
+    # clear of both tolerances (distinct values differ by >= 1, exact
+    # ties stay exact under identical additions), where the law is
+    # genuine.  Same boundary-avoidance policy as clear_floats above.
+    integral_vectors = st.builds(
+        lambda vals: CostVector(tuple(float(v) for v in vals)),
+        st.lists(st.integers(0, 10**6), min_size=3, max_size=3),
+    )
+
     @settings(max_examples=40, deadline=None)
-    @given(a=vectors(3), b=vectors(3), c=vectors(3))
+    @given(a=integral_vectors, b=integral_vectors, c=integral_vectors)
     def test_addition_monotone(self, a, b, c):
         # adding the same vector to both sides preserves weak order
         if a < b:

@@ -1,0 +1,341 @@
+"""The JIT backend: kernel parity, soft-dependency gating, CLI surface.
+
+``repro.routing.numba_kernels`` ships pure-Python loop bodies wrapped in
+``@njit`` when numba is importable and in an identity decorator when it
+is not, so the parity tests below always exercise the exact statements
+the JIT compiles — bit-identical results on this interpreter imply
+bit-identical results compiled (numba's default ``njit`` keeps IEEE
+semantics; no fastmath).  Tests that need an actually-compiled kernel
+are marked ``jit`` and skip without numba; the gating tests monkeypatch
+the availability probe so both sides of the soft dependency are pinned
+on every machine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.routing import backend as backend_mod
+from repro.routing import numba_kernels
+from repro.routing.backend import (
+    NUMBA_CROSSOVER_WORK,
+    backend_availability,
+    resolve_backend,
+    resolve_batch_backend,
+    routing_kernels,
+    validate_backend,
+)
+from repro.routing.engine import RoutingEngine
+from repro.routing.failures import NORMAL, FailureScenario
+from repro.routing.vectorized import (
+    BatchPlan,
+    batch_propagate_loads,
+    batch_propagate_mean_delay,
+    batch_propagate_worst_delay,
+    batch_total_loads,
+    build_schedule,
+)
+from repro.topology import isp_topology, powerlaw_topology, rand_topology
+from repro.traffic import dtr_traffic
+
+INSTANCES = [
+    pytest.param(lambda rng: powerlaw_topology(24, 3, rng), id="pl24"),
+    pytest.param(lambda rng: rand_topology(20, 4.5, rng), id="rand20"),
+    pytest.param(lambda rng: isp_topology(), id="isp"),
+]
+
+
+def make_instance(build, seed: int):
+    rng = np.random.default_rng(seed)
+    network = build(rng)
+    demands = dtr_traffic(network.num_nodes, rng, 1.0).delay.values
+    return network, demands, rng
+
+
+def random_scenario(network, rng, kind: int) -> FailureScenario:
+    if kind == 0:
+        return NORMAL
+    if kind == 1:
+        arcs = rng.integers(0, network.num_arcs, size=2)
+        return FailureScenario(failed_arcs=tuple(int(a) for a in arcs))
+    node = int(rng.integers(0, network.num_nodes))
+    return FailureScenario(
+        failed_arcs=tuple(int(a) for a in network.arcs_of_node(node)),
+        removed_nodes=(node,),
+    )
+
+
+class TestKernelParity:
+    """numba_kernels wrappers vs the vector kernels, bit for bit.
+
+    Scenarios include arc failures and node removals, so masked columns
+    (unreachable demand, dead-end volumes) run through both stacks.
+    """
+
+    @pytest.mark.parametrize("build", INSTANCES)
+    def test_loads_totals_delays(self, build):
+        network, demands, rng = make_instance(build, seed=211)
+        engine = RoutingEngine(network, backend="python")
+        plan = BatchPlan.for_network(network)
+        for trial in range(6):
+            weights = rng.integers(1, 20, network.num_arcs).astype(
+                np.float64
+            )
+            scenario = random_scenario(network, rng, trial % 3)
+            routing = engine.route_class(weights, demands, scenario)
+            dests = routing.destinations
+            cols = routing.dist[:, dests]
+            demand_cols = demands[:, dests]
+
+            ref = batch_propagate_loads(
+                plan, routing.masks, cols, demand_cols, dests
+            )
+            got = numba_kernels.batch_propagate_loads(
+                plan, routing.masks, cols, demand_cols, dests
+            )
+            np.testing.assert_array_equal(got[0], ref[0])
+            np.testing.assert_array_equal(got[1], ref[1])
+
+            ref_total = batch_total_loads(
+                plan, routing.masks, cols, demand_cols, dests
+            )
+            got_total = numba_kernels.batch_total_loads(
+                plan, routing.masks, cols, demand_cols, dests
+            )
+            np.testing.assert_array_equal(got_total[0], ref_total[0])
+            np.testing.assert_array_equal(got_total[1], ref_total[1])
+
+            arc_delays = rng.uniform(1e-3, 1e-2, network.num_arcs)
+            np.testing.assert_array_equal(
+                numba_kernels.batch_propagate_worst_delay(
+                    plan, routing.masks, cols, arc_delays, dests
+                ),
+                batch_propagate_worst_delay(
+                    plan, routing.masks, cols, arc_delays, dests
+                ),
+            )
+            np.testing.assert_array_equal(
+                numba_kernels.batch_propagate_mean_delay(
+                    plan, routing.masks, cols, arc_delays, dests
+                ),
+                batch_propagate_mean_delay(
+                    plan, routing.masks, cols, arc_delays, dests
+                ),
+            )
+
+    def test_schedule_supplied_path(self):
+        network, demands, rng = make_instance(
+            lambda g: powerlaw_topology(24, 3, g), seed=17
+        )
+        engine = RoutingEngine(network, backend="python")
+        plan = BatchPlan.for_network(network)
+        weights = rng.integers(1, 20, network.num_arcs).astype(np.float64)
+        routing = engine.route_class(weights, demands)
+        dests = routing.destinations
+        cols = routing.dist[:, dests]
+        schedule = build_schedule(plan, routing.masks, cols)
+        without = numba_kernels.batch_propagate_loads(
+            plan, routing.masks, cols, demands[:, dests], dests
+        )
+        with_sched = numba_kernels.batch_propagate_loads(
+            plan,
+            routing.masks,
+            cols,
+            demands[:, dests],
+            dests,
+            schedule=schedule,
+        )
+        np.testing.assert_array_equal(without[0], with_sched[0])
+        np.testing.assert_array_equal(without[1], with_sched[1])
+        arc_delays = rng.uniform(1e-3, 1e-2, network.num_arcs)
+        np.testing.assert_array_equal(
+            numba_kernels.batch_propagate_worst_delay(
+                plan, None, None, arc_delays, dests, schedule=schedule
+            ),
+            batch_propagate_worst_delay(
+                plan, routing.masks, cols, arc_delays, dests
+            ),
+        )
+
+    def test_delay_rows_path(self):
+        """Scenario-axis stacks: per-column delay rows match vectorized."""
+        network, demands, rng = make_instance(
+            lambda g: rand_topology(20, 4.5, g), seed=29
+        )
+        engine = RoutingEngine(network, backend="python")
+        plan = BatchPlan.for_network(network)
+        weights = rng.integers(1, 20, network.num_arcs).astype(np.float64)
+        routing = engine.route_class(weights, demands)
+        dests = routing.destinations
+        cols = routing.dist[:, dests]
+        delay_stack = rng.uniform(1e-3, 1e-2, (3, network.num_arcs))
+        rows = rng.integers(0, 3, dests.size)
+        for numba_kernel, ref_kernel in (
+            (
+                numba_kernels.batch_propagate_worst_delay,
+                batch_propagate_worst_delay,
+            ),
+            (
+                numba_kernels.batch_propagate_mean_delay,
+                batch_propagate_mean_delay,
+            ),
+        ):
+            np.testing.assert_array_equal(
+                numba_kernel(
+                    plan,
+                    routing.masks,
+                    cols,
+                    delay_stack,
+                    dests,
+                    delay_rows=rows,
+                ),
+                ref_kernel(
+                    plan,
+                    routing.masks,
+                    cols,
+                    delay_stack,
+                    dests,
+                    delay_rows=rows,
+                ),
+            )
+
+
+class TestSoftDependencyGating:
+    """Both sides of the import gate, pinned via the memoized probe."""
+
+    def test_absent_validate_raises_with_hint(self, monkeypatch):
+        monkeypatch.setattr(backend_mod, "_NUMBA_AVAILABLE", False)
+        with pytest.raises(ValueError, match="pip install numba"):
+            validate_backend("numba")
+
+    def test_absent_auto_never_selects_numba(self, monkeypatch):
+        monkeypatch.setattr(backend_mod, "_NUMBA_AVAILABLE", False)
+        # Far above every crossover: auto must resolve exactly as it
+        # did before the JIT backend existed.
+        assert resolve_backend("auto", 400, 2400, 400) == "vector"
+        assert resolve_backend("auto", 16, 70, 16) == "python"
+        assert resolve_batch_backend("auto", 400, 2400, 400) == "vector"
+
+    def test_absent_execution_params_raise(self, monkeypatch):
+        monkeypatch.setattr(backend_mod, "_NUMBA_AVAILABLE", False)
+        from repro.config import ExecutionParams
+
+        with pytest.raises(ValueError, match="pip install numba"):
+            ExecutionParams(routing_backend="numba")
+
+    def test_absent_availability_report(self, monkeypatch):
+        monkeypatch.setattr(backend_mod, "_NUMBA_AVAILABLE", False)
+        info = backend_availability()
+        assert info["python"] is True
+        assert info["vector"] is True
+        assert info["numba"] is False
+        assert info["numba_version"] is None
+        assert info["numpy_version"] == np.__version__
+
+    def test_present_numba_passes_through(self, monkeypatch):
+        monkeypatch.setattr(backend_mod, "_NUMBA_AVAILABLE", True)
+        assert validate_backend("numba") == "numba"
+        assert resolve_backend("numba", 10, 40, 10) == "numba"
+
+    def test_present_auto_uses_jit_crossover(self, monkeypatch):
+        monkeypatch.setattr(backend_mod, "_NUMBA_AVAILABLE", True)
+        d = NUMBA_CROSSOVER_WORK // 100
+        assert resolve_backend("auto", 60, 40, d - 1) == "python"
+        assert resolve_backend("auto", 60, 40, d + 1) == "numba"
+        assert resolve_batch_backend("auto", 60, 40, d - 1) == "vector"
+        assert resolve_batch_backend("auto", 60, 40, d + 1) == "numba"
+
+    def test_kernel_table_covers_both_array_stacks(self):
+        from repro.routing import vectorized
+
+        assert routing_kernels("vector") is vectorized
+        assert routing_kernels("numba") is numba_kernels
+        for name in (
+            "batch_propagate_loads",
+            "batch_total_loads",
+            "batch_propagate_worst_delay",
+            "batch_propagate_mean_delay",
+        ):
+            assert callable(getattr(numba_kernels, name))
+        with pytest.raises(ValueError, match="no batch-kernel table"):
+            routing_kernels("python")
+
+    def test_cli_rejects_numba_without_dependency(self, monkeypatch, capsys):
+        import repro.exp.runner as runner
+
+        monkeypatch.setattr(runner, "numba_available", lambda: False)
+        with pytest.raises(SystemExit) as excinfo:
+            runner.main(["table2", "--backend", "numba"])
+        assert excinfo.value.code == 2
+        assert "pip install numba" in capsys.readouterr().err
+
+
+@pytest.mark.jit
+class TestCompiled:
+    """End-to-end with actually-compiled kernels (CI jit lane only)."""
+
+    def test_engine_parity_and_warmup(self):
+        pytest.importorskip("numba")
+        assert numba_kernels.NUMBA_AVAILABLE
+        numba_kernels.warmup()
+        numba_kernels.warmup()  # idempotent
+        network, demands, rng = make_instance(
+            lambda g: powerlaw_topology(24, 3, g), seed=5
+        )
+        e_py = RoutingEngine(network, backend="python")
+        e_jit = RoutingEngine(network, backend="numba")
+        for trial in range(6):
+            weights = rng.integers(1, 20, network.num_arcs).astype(
+                np.float64
+            )
+            scenario = random_scenario(network, rng, trial % 3)
+            r_py = e_py.route_class(weights, demands, scenario)
+            r_jit = e_jit.route_class(weights, demands, scenario)
+            np.testing.assert_array_equal(r_py.loads, r_jit.loads)
+            assert r_py.undelivered == r_jit.undelivered
+            arc_delays = rng.uniform(1e-3, 1e-2, network.num_arcs)
+            for mode in ("worst", "mean"):
+                np.testing.assert_array_equal(
+                    e_py.path_delays(r_py, arc_delays, mode=mode),
+                    e_jit.path_delays(r_jit, arc_delays, mode=mode),
+                )
+
+    def test_evaluator_sweep_parity_and_pickle(self, tmp_path):
+        pytest.importorskip("numba")
+        import pickle
+
+        from repro.config import ExecutionParams, OptimizerConfig
+        from repro.core.evaluation import DtrEvaluator
+        from repro.core.weights import WeightSetting
+        from repro.routing.failures import single_link_failures
+        from repro.traffic import scale_to_utilization
+
+        rng = np.random.default_rng(31)
+        network = powerlaw_topology(24, 3, rng)
+        traffic = scale_to_utilization(
+            network, dtr_traffic(network.num_nodes, rng, 1.0), 0.43, "mean"
+        )
+        setting = WeightSetting.random(
+            network.num_arcs, OptimizerConfig().weights, rng
+        )
+        failures = list(single_link_failures(network))[:8]
+        sweeps = {}
+        for backend in ("python", "numba"):
+            config = OptimizerConfig(
+                execution=ExecutionParams(routing_backend=backend)
+            )
+            evaluator = DtrEvaluator(network, traffic, config)
+            normal = evaluator.evaluate_normal(setting)
+            sweeps[backend] = evaluator.evaluate_failures(
+                setting, failures, reuse=normal
+            )
+            # Compiled dispatch is module-global, never pickled: the
+            # evaluator itself must survive a round trip (what the
+            # parallel workers do) without dragging JIT state along.
+            pickle.loads(pickle.dumps(evaluator))
+        ref, got = sweeps["python"], sweeps["numba"]
+        assert len(ref) == len(got)
+        for x, y in zip(ref.evaluations, got.evaluations):
+            assert x.cost == y.cost
+            np.testing.assert_array_equal(x.loads_delay, y.loads_delay)
