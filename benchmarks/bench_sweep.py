@@ -203,6 +203,8 @@ def main(argv: list[str] | None = None) -> int:
             evaluator, setting, failures, args.rounds, args.warmups
         )
         del evaluator
+    transports = {}
+    worker_busy = {}
     for arm, mode in (("parallel", "off"), ("parallel-shm", "on")):
         with ParallelDtrEvaluator(
             network, traffic, config_for(mode, args.jobs)
@@ -210,6 +212,13 @@ def main(argv: list[str] | None = None) -> int:
             rates[arm], sweeps[arm] = arm_rate(
                 evaluator, setting, failures, args.rounds, args.warmups
             )
+            transports[arm] = evaluator.transport_stats.as_dict()
+            worker_busy[arm] = {
+                str(pid): round(seconds, 3)
+                for pid, seconds in sorted(
+                    evaluator.worker_busy_seconds.items()
+                )
+            }
 
     parity = all(
         sweeps_identical(sweeps["serial"], sweeps[arm])
@@ -292,6 +301,12 @@ def main(argv: list[str] | None = None) -> int:
             "sweep_batch_min_scenarios": SWEEP_BATCH_MIN_SCENARIOS,
             "shm_speedup_vs_process": round(shm_speedup, 2),
             "parity": parity and cross_parity,
+            # Measured dispatch accounting of the parallel arms:
+            # publishes/payload bytes (shm blocks), per-task ticket
+            # bytes, and summed in-worker busy seconds (per worker pid)
+            # — so payload-size regressions show up next to the rates.
+            "transport_stats": transports,
+            "worker_busy_seconds": worker_busy,
             # Supervisor counters across every sweep of this run: all
             # zero on a healthy box; nonzero values flag that measured
             # rates include retry/degradation overhead.

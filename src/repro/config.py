@@ -21,7 +21,9 @@ import os
 from dataclasses import dataclass
 
 from repro.routing.backend import (
+    VALID_EXECUTORS,
     validate_backend,
+    validate_hosts,
     validate_resilience,
     validate_sweep_batching,
 )
@@ -227,9 +229,11 @@ class ExecutionParams:
         n_jobs: worker count for failure-sweep fan-out; 1 runs fully
             serial, 0 resolves to one worker per available CPU.
         executor: ``"process"`` (default; sidesteps the GIL, needed for
-            real speedup on the pure-Python propagation kernels) or
+            real speedup on the pure-Python propagation kernels),
             ``"thread"`` (cheaper startup, useful for tests and platforms
-            without fork).
+            without fork) or ``"hosts"`` (multi-host scenario-shard
+            sweeps over a TCP host pool — see
+            :mod:`repro.core.distributed` and the ``hosts`` knob).
         chunk_size: scenarios per parallel task; None picks a chunk count
             of roughly four tasks per worker for load balancing.
         routing_cache: enable the incremental routing cache that reuses
@@ -284,6 +288,14 @@ class ExecutionParams:
             (:class:`repro.core.faults.FaultPlan`) installed in the
             pool workers — chaos testing only; None (always, outside
             tests) injects nothing.
+        hosts: host pool spec for ``executor="hosts"`` — ``"local:N"``
+            spawns N localhost host processes (testable on one box),
+            ``"host:port,host:port"`` connects to running
+            ``repro-exp serve-host`` servers.  Required with the hosts
+            executor, rejected with any other.  Like every execution
+            knob the host set never changes a computed bit, and it is
+            excluded from checkpoint fingerprints so a run may resume
+            under a different host set.
     """
 
     n_jobs: int = 1
@@ -299,12 +311,16 @@ class ExecutionParams:
     task_timeout: float | None = None
     sweep_deadline: float | None = None
     fault_plan: "object | None" = None
+    hosts: str | None = None
 
     def __post_init__(self) -> None:
         if self.n_jobs < 0:
             raise ValueError("n_jobs must be >= 0 (0 = one per CPU)")
-        if self.executor not in ("process", "thread"):
-            raise ValueError("executor must be 'process' or 'thread'")
+        if self.executor not in VALID_EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {', '.join(VALID_EXECUTORS)}"
+            )
+        validate_hosts(self.hosts, self.executor)
         if self.chunk_size is not None and self.chunk_size < 1:
             raise ValueError("chunk_size must be >= 1 when given")
         if self.cache_size < 1:

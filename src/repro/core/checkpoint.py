@@ -124,7 +124,10 @@ def config_fingerprint(
 #: Execution knobs excluded from the resume-compatibility fingerprint:
 #: the resilience layer (retry budgets, deadlines, chaos plans) never
 #: changes computed values, and the canonical recovery from a crashed
-#: run is precisely "resume with *different* retry knobs".
+#: run is precisely "resume with *different* retry knobs".  The ``hosts``
+#: spec is excluded for the same reason — a sweep is bit-identical under
+#: any host set, and resuming a cluster run on different (or fewer)
+#: machines must not be refused.
 _RESILIENCE_KNOBS = frozenset(
     {
         "max_retries",
@@ -132,6 +135,7 @@ _RESILIENCE_KNOBS = frozenset(
         "task_timeout",
         "sweep_deadline",
         "fault_plan",
+        "hosts",
     }
 )
 

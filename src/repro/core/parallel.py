@@ -62,6 +62,7 @@ import pickle
 import signal
 import struct
 import threading
+import time
 import weakref
 from collections import OrderedDict, deque
 from concurrent.futures import (
@@ -90,6 +91,8 @@ from repro.core.resilience import (
     RetryPolicy,
     SupervisedTask,
     SweepSupervisor,
+    TransportCounters,
+    TransportStats,
     global_counters,
 )
 from repro.core.weights import WeightSetting
@@ -408,7 +411,7 @@ def _worker_sweep(
     scenarios: "tuple[FailureScenario | Scenario, ...]",
     reuse: ScenarioEvaluation | None,
     costs_only: bool = False,
-) -> tuple[list[ScenarioEvaluation], int, tuple[int, int, int]]:
+) -> tuple[list[ScenarioEvaluation], int, tuple[int, int, int], float]:
     """Evaluate one scenario chunk in a worker process.
 
     Chunks may mix plain failure scenarios and composed
@@ -421,12 +424,14 @@ def _worker_sweep(
     compacted to their scalars (cost + SLA) before shipping, so the IPC
     payload is a few floats per scenario regardless of instance size.
 
-    Returns the stripped evaluations in input order plus the worker's pid
-    and *cumulative* cache counters (the parent keeps the latest counters
-    per pid, so re-sending totals is idempotent).
+    Returns the stripped evaluations in input order plus the worker's
+    pid, *cumulative* cache counters (the parent keeps the latest
+    counters per pid, so re-sending totals is idempotent) and the
+    task's compute seconds (``TransportStats.busy_seconds``).
     """
     evaluator = _WORKER_EVALUATOR
     assert evaluator is not None, "worker initializer did not run"
+    begin = time.perf_counter()
     setting = WeightSetting(delay_weights, tput_weights)
     fold = compact_evaluation if costs_only else _strip_routings
     outcomes = [
@@ -438,6 +443,7 @@ def _worker_sweep(
         outcomes,
         os.getpid(),
         (stats.hits_exact, stats.hits_incremental, stats.misses),
+        time.perf_counter() - begin,
     )
 
 
@@ -650,7 +656,7 @@ def _attach_sweep_state(name: str) -> object:
 
 def _worker_sweep_shared(
     name: str, start: int, stop: int, costs_only: bool = False
-) -> tuple[list[ScenarioEvaluation], int, tuple[int, int, int]]:
+) -> tuple[list[ScenarioEvaluation], int, tuple[int, int, int], float]:
     """Evaluate one ticketed scenario slice against the shared state.
 
     The ticket carries only the block name and the slice bounds; the
@@ -662,6 +668,7 @@ def _worker_sweep_shared(
     """
     evaluator = _WORKER_EVALUATOR
     assert evaluator is not None, "worker initializer did not run"
+    begin = time.perf_counter()
     delay, tput, scenarios, reuse = _attach_sweep_state(name)
     setting = WeightSetting(delay, tput)
     costs = evaluator.evaluate_scenarios(
@@ -674,15 +681,17 @@ def _worker_sweep_shared(
         outcomes,
         os.getpid(),
         (stats.hits_exact, stats.hits_incremental, stats.misses),
+        time.perf_counter() - begin,
     )
 
 
 def _worker_normal_batch(
     settings: tuple[tuple[np.ndarray, np.ndarray], ...],
-) -> tuple[list[ScenarioEvaluation], int, tuple[int, int, int]]:
+) -> tuple[list[ScenarioEvaluation], int, tuple[int, int, int], float]:
     """Evaluate a batch of settings under the failure-free scenario."""
     evaluator = _WORKER_EVALUATOR
     assert evaluator is not None, "worker initializer did not run"
+    begin = time.perf_counter()
     outcomes = [
         _strip_routings(
             evaluator.evaluate_normal(WeightSetting(delay, tput))
@@ -694,6 +703,7 @@ def _worker_normal_batch(
         outcomes,
         os.getpid(),
         (stats.hits_exact, stats.hits_incremental, stats.misses),
+        time.perf_counter() - begin,
     )
 
 
@@ -751,7 +761,9 @@ class ParallelDtrEvaluator(CachingDtrEvaluator):
         self._pool_key: tuple[str, int] | None = None
         self._pool_lock = threading.Lock()
         self._worker_stats: dict[int, CacheStats] = {}
+        self._worker_busy: dict[int, float] = {}
         self._resilience = ResilienceCounters(mirror=global_counters())
+        self._transport = TransportCounters()
         self._retry_policy = RetryPolicy.from_execution(execution)
 
     # ------------------------------------------------------------------
@@ -857,6 +869,23 @@ class ParallelDtrEvaluator(CachingDtrEvaluator):
     def resilience_stats(self) -> ResilienceStats:
         """Failure/retry/degradation counters of this evaluator's sweeps."""
         return self._resilience.snapshot()
+
+    @property
+    def transport_stats(self) -> TransportStats:
+        """Bytes/seconds accounting of this evaluator's dispatches.
+
+        ``payload_bytes`` counts publish-once shm blocks, ``task_bytes``
+        the pickled per-task arguments (the ~36-byte tickets on the shm
+        path, the full by-value payload on the legacy path) and
+        ``busy_seconds`` the summed in-worker compute time, so
+        benchmarks can separate compute from dispatch overhead.
+        """
+        return self._transport.snapshot()
+
+    @property
+    def worker_busy_seconds(self) -> "dict[int, float]":
+        """Per-worker (pid-keyed) cumulative task compute seconds."""
+        return dict(self._worker_busy)
 
     def close(self) -> None:
         """Shut down the worker pool and sibling oracles (idempotent).
@@ -979,10 +1008,14 @@ class ParallelDtrEvaluator(CachingDtrEvaluator):
         them would double-count, so they are skipped.
         """
         outcomes: list[ScenarioEvaluation] = []
-        for chunk_outcomes, pid, counters in results:
+        for chunk_outcomes, pid, counters, elapsed in results:
             outcomes.extend(chunk_outcomes)
             if pid is not None:
                 self._record_worker_stats(pid, counters)
+                self._worker_busy[pid] = (
+                    self._worker_busy.get(pid, 0.0) + elapsed
+                )
+                self._transport.record(busy_seconds=elapsed)
         return outcomes
 
     def _serial_ticket(
@@ -992,7 +1025,7 @@ class ParallelDtrEvaluator(CachingDtrEvaluator):
         reuse: ScenarioEvaluation | None,
         costs_only: bool,
         batched: bool,
-    ) -> tuple[list[ScenarioEvaluation], None, None]:
+    ) -> tuple[list[ScenarioEvaluation], None, None, float]:
         """One quarantined/degraded ticket on the in-process serial path.
 
         Mirrors the worker task exactly (batched slice sweep for shm
@@ -1004,6 +1037,7 @@ class ParallelDtrEvaluator(CachingDtrEvaluator):
         """
         fold = compact_evaluation if costs_only else _strip_routings
         before = self._num_evaluations
+        begin = time.perf_counter()
         try:
             if batched:
                 costs = DtrEvaluator.evaluate_scenarios(
@@ -1017,7 +1051,7 @@ class ParallelDtrEvaluator(CachingDtrEvaluator):
                 ]
         finally:
             self._num_evaluations = before
-        return (outcomes, None, None)
+        return (outcomes, None, None, time.perf_counter() - begin)
 
     def _make_task(
         self,
@@ -1031,10 +1065,17 @@ class ParallelDtrEvaluator(CachingDtrEvaluator):
 
         ``sink`` collects every future ever submitted for the ticket so
         shared-memory sweeps can settle stragglers before unlinking.
+        Every submission's pickled argument size lands in
+        :attr:`transport_stats` — ~36-byte index tickets on the shm
+        path, the full by-value payload on the legacy path — so the
+        bytes-on-wire gap the shm design buys stays measured, not
+        asserted.
         """
+        ticket_bytes = len(pickle.dumps(args, protocol=5))
 
         def submit(pool: Executor, attempt: int):
             future = pool.submit(_supervised_task, fn, seq, attempt, *args)
+            self._transport.record(tasks=1, task_bytes=ticket_bytes)
             if sink is not None:
                 sink.append(future)
             return future
@@ -1161,6 +1202,7 @@ class ParallelDtrEvaluator(CachingDtrEvaluator):
         state = SharedSweepState(
             (setting.delay, setting.tput, tuple(scenarios), reuse)
         )
+        self._transport.record(publishes=1, payload_bytes=state.size)
         futures: list = []
         tasks = [
             self._make_task(
@@ -1250,16 +1292,17 @@ class ParallelDtrEvaluator(CachingDtrEvaluator):
 
     def _serial_normal_ticket(
         self, chunk: "list[WeightSetting]"
-    ) -> tuple[list[ScenarioEvaluation], None, None]:
+    ) -> tuple[list[ScenarioEvaluation], None, None, float]:
         """Quarantined/degraded normal-batch ticket, computed in-process."""
         before = self._num_evaluations
+        begin = time.perf_counter()
         try:
             outcomes = [
                 _strip_routings(self.evaluate_normal(s)) for s in chunk
             ]
         finally:
             self._num_evaluations = before
-        return (outcomes, None, None)
+        return (outcomes, None, None, time.perf_counter() - begin)
 
 
 def make_evaluator(
@@ -1270,12 +1313,18 @@ def make_evaluator(
 ) -> DtrEvaluator:
     """The right evaluator for ``config.execution``.
 
-    ``n_jobs > 1`` (or 0 = all CPUs on a multi-core host) selects the
-    parallel evaluator, ``routing_cache`` alone the caching one, and the
-    plain serial evaluator otherwise.  All three produce bit-identical
-    results.
+    ``executor="hosts"`` selects the distributed evaluator (scenario
+    sweeps across a TCP host pool), ``n_jobs > 1`` (or 0 = all CPUs on
+    a multi-core host) the parallel evaluator, ``routing_cache`` alone
+    the caching one, and the plain serial evaluator otherwise.  All
+    four produce bit-identical results.
     """
     execution = config.execution
+    if execution.executor == "hosts":
+        # Deferred import: repro.core.distributed imports this module.
+        from repro.core.distributed import DistributedDtrEvaluator
+
+        return DistributedDtrEvaluator(network, traffic, config, delay_mode)
     if execution.resolved_jobs > 1:
         return ParallelDtrEvaluator(network, traffic, config, delay_mode)
     if execution.routing_cache:

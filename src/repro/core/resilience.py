@@ -133,6 +133,10 @@ class ResilienceStats:
             exhausting ``max_attempts``.
         deadline_degraded_tasks: tickets degraded to the serial path
             because the sweep deadline ran out.
+        host_failures: distributed hosts (``executor="hosts"``) that
+            died or dropped their connection mid-sweep.
+        host_respawns: dead hosts successfully respawned (``local:``
+            mode) or reconnected (TCP mode) by pool recycling.
     """
 
     worker_failures: int = 0
@@ -142,6 +146,8 @@ class ResilienceStats:
     pool_rebuilds: int = 0
     quarantined_tasks: int = 0
     deadline_degraded_tasks: int = 0
+    host_failures: int = 0
+    host_respawns: int = 0
 
     @property
     def total_failures(self) -> int:
@@ -195,6 +201,83 @@ class ResilienceCounters:
         """Zero the counters (does not touch the mirror)."""
         with self._lock:
             self._stats = ResilienceStats()
+
+
+@dataclass(frozen=True)
+class TransportStats:
+    """Where a fan-out sweep's bytes and seconds went (``cache_stats``
+    style).
+
+    One instance summarizes a dispatch transport — the process pool's
+    shm/pickle channel or the distributed host pool's TCP sockets — so
+    ``BENCH_*.json`` context blocks can show payload amortization
+    (publish-once bytes vs per-task ticket bytes) and worker/host busy
+    time next to wall-clock.
+
+    Attributes:
+        publishes: publish-once payload shipments (shm sweep states, or
+            per-host instance/scenario/setting epochs).
+        payload_bytes: bytes of those publish-once payloads.
+        tasks: tickets dispatched (every attempt counts — retries ship
+            bytes too).
+        task_bytes: bytes of ticket messages (the per-task cost once
+            payloads are amortized).
+        result_bytes: bytes of results shipped back.
+        busy_seconds: summed worker/host compute time spent on tasks.
+    """
+
+    publishes: int = 0
+    payload_bytes: int = 0
+    tasks: int = 0
+    task_bytes: int = 0
+    result_bytes: int = 0
+    busy_seconds: float = 0.0
+
+    def __add__(self, other: "TransportStats") -> "TransportStats":
+        return TransportStats(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def as_dict(self) -> "dict[str, float]":
+        """Plain-dict form for BENCH context / experiment metadata."""
+        out: "dict[str, float]" = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            out[f.name] = (
+                round(value, 6) if isinstance(value, float) else value
+            )
+        return out
+
+    @property
+    def bytes_per_task(self) -> float:
+        """Mean ticket bytes on the wire per dispatched task."""
+        return self.task_bytes / self.tasks if self.tasks else 0.0
+
+
+class TransportCounters:
+    """Mutable, thread-safe accumulator behind :class:`TransportStats`."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._stats = TransportStats()
+
+    def record(self, **deltas: "int | float") -> None:
+        """Add the given counter deltas (field names of the stats)."""
+        with self._lock:
+            self._stats = self._stats + TransportStats(**deltas)
+
+    def snapshot(self) -> TransportStats:
+        """Immutable copy of the current counters."""
+        with self._lock:
+            return self._stats
+
+    def reset(self) -> None:
+        """Zero the counters."""
+        with self._lock:
+            self._stats = TransportStats()
 
 
 _GLOBAL = ResilienceCounters()

@@ -6,6 +6,8 @@ Usage::
     repro-exp table2 --preset quick --seed 0
     repro-exp table2 --preset quick --jobs 4
     repro-exp scenarios --scenarios srlg,multi2,linkxsurge
+    repro-exp table2 --hosts local:4
+    repro-exp serve-host --bind 0.0.0.0 --port 7777
     repro-exp all --preset default
 
 Each experiment prints the table rows and figure series the corresponding
@@ -98,6 +100,7 @@ def run_experiment(
     max_retries: int | None = None,
     task_timeout: float | None = None,
     sweep_deadline: float | None = None,
+    hosts: str | None = None,
 ) -> ExperimentResult:
     """Run one experiment and return its result.
 
@@ -126,6 +129,10 @@ def run_experiment(
             preset's setting.
         sweep_deadline: whole-sweep deadline in seconds; None keeps
             the preset's setting.
+        hosts: distributed sweep host pool (``"local:N"`` or
+            ``"host:port,host:port"``); selects ``executor="hosts"``.
+            Execution-only: results are bit-identical to serial runs
+            (see docs/PERFORMANCE.md, "Distributed sweeps").
     """
     resolved = get_preset(preset)
     overrides: dict[str, object] = {}
@@ -141,6 +148,9 @@ def run_experiment(
         overrides["task_timeout"] = task_timeout
     if sweep_deadline is not None:
         overrides["sweep_deadline"] = sweep_deadline
+    if hosts is not None:
+        overrides["executor"] = "hosts"
+        overrides["hosts"] = hosts
     if overrides:
         config = resolved.config.replace(
             execution=dataclasses.replace(
@@ -172,7 +182,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         nargs="?",
-        help="experiment id (or 'all')",
+        help="experiment id (or 'all'), or 'serve-host' to run a sweep host",
     )
     parser.add_argument(
         "--preset",
@@ -238,6 +248,33 @@ def main(argv: list[str] | None = None) -> int:
             f"degrades to the serial path and the run exits "
             f"{EXIT_DEGRADED} (default: none)"
         ),
+    )
+    parser.add_argument(
+        "--hosts",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "distribute scenario sweeps across sweep hosts: "
+            "'local:N' forks N localhost hosts, 'host:port,host:port' "
+            "connects to running 'repro-exp serve-host' servers; "
+            "results are bit-identical to serial runs"
+        ),
+    )
+    parser.add_argument(
+        "--bind",
+        default="127.0.0.1",
+        metavar="ADDR",
+        help=(
+            "serve-host only: interface to listen on (default "
+            "127.0.0.1; use 0.0.0.0 to serve other machines)"
+        ),
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        metavar="PORT",
+        help="serve-host only: TCP port (default 0 = ephemeral, printed)",
     )
     parser.add_argument(
         "--scenarios",
@@ -308,6 +345,35 @@ def main(argv: list[str] | None = None) -> int:
         "--list", action="store_true", help="list experiment ids"
     )
     args = parser.parse_args(argv)
+
+    if args.experiment == "serve-host":
+        if not 0 <= args.port < 65536:
+            parser.error("--port must be in [0, 65535]")
+        from repro.core.distributed import HostWorker
+
+        worker = HostWorker(args.bind, args.port)
+        print(
+            f"[serve-host listening on {args.bind}:{worker.port}]",
+            flush=True,
+        )
+        try:
+            worker.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        return 0
+
+    if args.hosts is not None:
+        from repro.routing.backend import parse_hosts
+
+        try:
+            parse_hosts(args.hosts)
+        except ValueError as exc:
+            parser.error(f"--hosts: {exc}")
+        if args.jobs is not None:
+            parser.error(
+                "--jobs and --hosts are mutually exclusive "
+                "(hosts own the sweep fan-out)"
+            )
 
     if args.jobs is not None and args.jobs < 0:
         parser.error("--jobs must be >= 0 (0 = one worker per CPU)")
@@ -383,6 +449,7 @@ def main(argv: list[str] | None = None) -> int:
                     max_retries=args.max_retries,
                     task_timeout=args.task_timeout,
                     sweep_deadline=args.sweep_deadline,
+                    hosts=args.hosts,
                 )
             except OptimizerInterrupted as interrupted:
                 print(

@@ -196,6 +196,84 @@ def validate_resilience(
         )
 
 
+#: Recognized executor kinds for ``ExecutionParams.executor``.
+VALID_EXECUTORS = ("process", "thread", "hosts")
+
+
+def parse_hosts(spec: str) -> "tuple[tuple[str, int], ...] | int":
+    """Parse a ``hosts=`` spec into concrete host endpoints.
+
+    Two grammars are accepted (see ``repro.core.distributed``):
+
+    * ``"local:N"`` — spawn ``N`` localhost host processes; returns the
+      integer ``N``.
+    * ``"host:port[,host:port...]"`` — connect to already-running
+      ``repro-exp serve-host`` servers; returns a tuple of
+      ``(host, port)`` pairs in spec order (order is the shard order).
+
+    Raises ``ValueError`` on anything else, so a typo fails at
+    configuration time instead of hanging in a connect loop.
+    """
+    if not isinstance(spec, str) or not spec.strip():
+        raise ValueError("hosts spec must be a non-empty string")
+    spec = spec.strip()
+    if spec.startswith("local:"):
+        tail = spec[len("local:"):]
+        try:
+            count = int(tail)
+        except ValueError:
+            raise ValueError(
+                f"malformed hosts spec {spec!r}: 'local:' needs an "
+                "integer host count, e.g. 'local:2'"
+            ) from None
+        if count < 1:
+            raise ValueError("hosts spec 'local:N' needs N >= 1")
+        return count
+    endpoints = []
+    for part in spec.split(","):
+        part = part.strip()
+        host, sep, port_text = part.rpartition(":")
+        if not sep or not host:
+            raise ValueError(
+                f"malformed hosts spec entry {part!r}: expected "
+                "'host:port' (or 'local:N' to spawn localhost hosts)"
+            )
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise ValueError(
+                f"malformed hosts spec entry {part!r}: port must be "
+                "an integer"
+            ) from None
+        if not 0 < port < 65536:
+            raise ValueError(
+                f"hosts spec entry {part!r}: port out of range"
+            )
+        endpoints.append((host, port))
+    return tuple(endpoints)
+
+
+def validate_hosts(hosts: "str | None", executor: str) -> None:
+    """Validate the ``hosts`` knob of ``ExecutionParams``.
+
+    ``executor="hosts"`` requires a parseable spec; any other executor
+    must leave ``hosts`` unset (a spec that silently did nothing would
+    hide a misconfigured run).
+    """
+    if executor == "hosts":
+        if hosts is None:
+            raise ValueError(
+                "executor='hosts' requires a hosts= spec "
+                "('local:N' or 'host:port,...')"
+            )
+        parse_hosts(hosts)
+    elif hosts is not None:
+        raise ValueError(
+            "hosts= is only meaningful with executor='hosts' "
+            f"(got executor={executor!r})"
+        )
+
+
 def validate_backend(backend: str) -> str:
     """Return ``backend`` if recognized and runnable, raise otherwise.
 
